@@ -1,0 +1,56 @@
+// Table 1 reproduction: single-thread run-time profile of the BASELINE
+// (original-BWA-MEM-style) pipeline on the D1 and D4 dataset analogs.
+//
+// Paper reference (Table 1):        D1      D4
+//   SMEM                           21.5%   44.4%
+//   SAL                            18.0%   15.5%
+//   CHAIN                           6.0%    5.9%
+//   BSW pre-processing              4.7%    4.9%
+//   BSW                            47.2%   26.4%
+//   SAM-FORM                        2.5%    2.9%
+// The shape to reproduce: SMEM+SAL+BSW >= ~85% of total; BSW share higher
+// on the longer-read D1, SMEM share higher on shorter-read D4.
+#include "bench_common.h"
+
+using namespace mem2;
+
+int main() {
+  const auto index = bench::bench_index();
+
+  bench::print_header(
+      "Table 1: single-thread stage profile of baseline BWA-MEM model");
+  bench::print_row("Stage", {"D1", "D4"});
+
+  align::DriverOptions opt;
+  opt.mode = align::Mode::kBaseline;
+  opt.threads = 1;
+
+  align::DriverStats stats_d1, stats_d4;
+  const auto d1 = bench::bench_dataset(index, 0);
+  const auto d4 = bench::bench_dataset(index, 3);
+  align::align_reads(index, d1.reads, opt, &stats_d1);
+  align::align_reads(index, d4.reads, opt, &stats_d4);
+
+  const double t1 = stats_d1.stages.total();
+  const double t4 = stats_d4.stages.total();
+  double kernels1 = 0, kernels4 = 0;
+  for (int s = 0; s < static_cast<int>(util::Stage::kCount); ++s) {
+    const auto stage = static_cast<util::Stage>(s);
+    const double p1 = 100.0 * stats_d1.stages[stage] / t1;
+    const double p4 = 100.0 * stats_d4.stages[stage] / t4;
+    bench::print_row(std::string(util::stage_name(stage)).c_str(),
+                     {bench::fmt(p1) + "%", bench::fmt(p4) + "%"});
+    if (stage == util::Stage::kSmem || stage == util::Stage::kSal ||
+        stage == util::Stage::kBsw) {
+      kernels1 += p1;
+      kernels4 += p4;
+    }
+  }
+  bench::print_row("total run-time (s)",
+                   {bench::fmt(t1), bench::fmt(t4)});
+  bench::print_row("three-kernel share (paper: 86.5/85.7)",
+                   {bench::fmt(kernels1) + "%", bench::fmt(kernels4) + "%"});
+  std::printf("\nreads: D1=%zu x %d bp, D4=%zu x %d bp\n", d1.reads.size(),
+              d1.read_length, d4.reads.size(), d4.read_length);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Intercept real BSW inputs, the way the paper prepared its kernel
+// benchmarks ("we executed BWA-MEM using read datasets and intercepted
+// inputs to each of the kernels"): run the full seeding/chaining/extension
+// pipeline with a recording extension source and keep a copy of every
+// (query, target, h0, w) job it issues.
+#pragma once
+
+#include <deque>
+
+#include "align/extend.h"
+#include "align/region.h"
+#include "bench_common.h"
+#include "chain/chain.h"
+#include "smem/seeding.h"
+
+namespace mem2::bench {
+
+struct HarvestedJobs {
+  std::deque<std::vector<seq::Code>> storage;  // stable buffer backing
+  std::vector<bsw::ExtendJob> jobs;
+};
+
+namespace detail {
+
+class RecordingSource final : public align::SeedExtendSource {
+ public:
+  RecordingSource(const bsw::KswParams& params, HarvestedJobs& sink)
+      : params_(params), sink_(sink) {}
+
+  bsw::KswResult extend(int, int, int, int, const bsw::ExtendJob& job) override {
+    auto& q = sink_.storage.emplace_back(job.query, job.query + job.qlen);
+    auto& t = sink_.storage.emplace_back(job.target, job.target + job.tlen);
+    bsw::ExtendJob copy = job;
+    copy.query = q.data();
+    copy.target = t.data();
+    sink_.jobs.push_back(copy);
+    return bsw::ksw_extend_scalar(job, params_);
+  }
+
+ private:
+  bsw::KswParams params_;
+  HarvestedJobs& sink_;
+};
+
+}  // namespace detail
+
+inline HarvestedJobs harvest_bsw_jobs(const index::Mem2Index& index,
+                                      const std::vector<seq::Read>& reads,
+                                      const align::MemOptions& opt) {
+  HarvestedJobs out;
+  detail::RecordingSource source(opt.ksw, out);
+  smem::SmemWorkspace ws;
+  std::vector<smem::Smem> smems;
+  std::vector<align::AlnReg> regs;
+
+  for (const auto& read : reads) {
+    std::vector<seq::Code> q(read.bases.size());
+    for (std::size_t i = 0; i < q.size(); ++i) q[i] = seq::char_to_code(read.bases[i]);
+    const std::vector<seq::Code> q_rev(q.rbegin(), q.rend());
+    align::ExtendContext ctx{opt, index, q, q_rev};
+
+    smem::collect_smems(index.fm32(), q, opt.seeding, smems, ws,
+                        util::PrefetchPolicy{true});
+    auto seeds = chain::seeds_from_smems(
+        smems, opt.chaining, [&](idx_t row) { return index.sa_lookup_flat(row); });
+    const double frac_rep = chain::repetitive_fraction(
+        smems, static_cast<int>(q.size()), opt.chaining.max_occ);
+    auto chains = chain::build_chains(index.ref(), index.l_pac(), seeds,
+                                      static_cast<int>(q.size()), opt.chaining, frac_rep);
+    chain::filter_chains(chains, opt.chaining);
+    regs.clear();
+    align::process_chains(ctx, chains, source, regs);
+  }
+  return out;
+}
+
+}  // namespace mem2::bench

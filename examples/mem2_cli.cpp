@@ -1,0 +1,121 @@
+// mem2_cli — a bwa-mem2-style command-line aligner on the library API.
+//
+//   mem2_cli index <ref.fasta> <out.m2i>
+//   mem2_cli mem [-t threads] [--baseline] [-k minseed] [-T minscore]
+//                <index.m2i> <reads.fastq>            (SAM on stdout)
+//   mem2_cli simulate <out.fasta> <length> [seed]
+//   mem2_cli wgsim <ref.fasta> <out.fastq> <n> <len> [seed]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "align/driver.h"
+#include "io/fasta.h"
+#include "io/fastq.h"
+#include "seq/genome_sim.h"
+#include "seq/read_sim.h"
+
+using namespace mem2;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  mem2_cli index <ref.fasta> <out.m2i>\n"
+      "  mem2_cli mem [-t N] [--baseline] [-k minseed] [-T minscore] <index.m2i> <reads.fq>\n"
+      "  mem2_cli simulate <out.fasta> <length> [seed]\n"
+      "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n";
+  return 2;
+}
+
+int cmd_index(int argc, char** argv) {
+  if (argc != 2) return usage();
+  std::cerr << "[mem2] loading " << argv[0] << "...\n";
+  auto ref = io::load_reference(argv[0]);
+  std::cerr << "[mem2] building index over " << ref.length() << " bp...\n";
+  util::Timer t;
+  const auto index = index::Mem2Index::build(std::move(ref));
+  std::cerr << "[mem2] built in " << t.seconds() << "s ("
+            << index.memory_bytes() / (1 << 20) << " MiB); writing " << argv[1]
+            << '\n';
+  index::save_index(argv[1], index);
+  return 0;
+}
+
+int cmd_mem(int argc, char** argv) {
+  align::DriverOptions opt;
+  int i = 0;
+  for (; i < argc && argv[i][0] == '-'; ++i) {
+    if (!std::strcmp(argv[i], "-t") && i + 1 < argc)
+      opt.threads = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--baseline"))
+      opt.mode = align::Mode::kBaseline;
+    else if (!std::strcmp(argv[i], "-k") && i + 1 < argc)
+      opt.mem.seeding.min_seed_len = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "-T") && i + 1 < argc)
+      opt.mem.min_out_score = std::atoi(argv[++i]);
+    else
+      return usage();
+  }
+  if (argc - i != 2) return usage();
+
+  std::cerr << "[mem2] loading index " << argv[i] << "...\n";
+  const auto index = index::load_index(argv[i]);
+  std::cerr << "[mem2] reading " << argv[i + 1] << "...\n";
+  const auto reads = io::read_fastq_file(argv[i + 1]);
+  std::cerr << "[mem2] aligning " << reads.size() << " reads ("
+            << (opt.mode == align::Mode::kBaseline ? "baseline" : "batch")
+            << ", " << opt.threads << " thread(s))...\n";
+
+  util::Timer t;
+  align::DriverStats stats;
+  const auto records = align::align_reads(index, reads, opt, &stats);
+  std::cerr << "[mem2] " << records.size() << " records in " << t.seconds()
+            << "s\n";
+
+  std::cout << align::sam_header_for(index, opt);
+  for (const auto& rec : records) std::cout << rec.to_line() << '\n';
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 2) return usage();
+  seq::GenomeConfig cfg;
+  cfg.contig_lengths = {std::atoll(argv[1])};
+  if (argc > 2) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  const auto ref = seq::simulate_genome(cfg);
+  io::save_reference(argv[0], ref);
+  std::cerr << "[mem2] wrote " << ref.length() << " bp to " << argv[0] << '\n';
+  return 0;
+}
+
+int cmd_wgsim(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto ref = io::load_reference(argv[0]);
+  seq::ReadSimConfig cfg;
+  cfg.num_reads = std::atoll(argv[2]);
+  cfg.read_length = std::atoi(argv[3]);
+  if (argc > 4) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  io::write_fastq_file(argv[1], seq::simulate_reads(ref, cfg));
+  std::cerr << "[mem2] wrote " << cfg.num_reads << " x " << cfg.read_length
+            << " bp reads to " << argv[1] << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "index") return cmd_index(argc - 2, argv + 2);
+    if (cmd == "mem") return cmd_mem(argc - 2, argv + 2);
+    if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+    if (cmd == "wgsim") return cmd_wgsim(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::cerr << "mem2_cli: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,32 @@
+#include "align/driver.h"
+
+namespace mem2::align {
+
+std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
+                                       const std::vector<seq::Read>& reads,
+                                       const DriverOptions& options,
+                                       DriverStats* stats) {
+  std::vector<std::vector<io::SamRecord>> per_read;
+  if (options.mode == Mode::kBaseline)
+    align_reads_baseline(index, reads, options, per_read, stats);
+  else
+    align_reads_batch(index, reads, options, per_read, stats);
+
+  std::vector<io::SamRecord> flat;
+  std::size_t total = 0;
+  for (const auto& v : per_read) total += v.size();
+  flat.reserve(total);
+  for (auto& v : per_read)
+    for (auto& rec : v) flat.push_back(std::move(rec));
+  if (stats) stats->reads += reads.size();
+  return flat;
+}
+
+std::string sam_header_for(const index::Mem2Index& index, const DriverOptions& options) {
+  const std::string pg =
+      std::string("@PG\tID:mem2\tPN:mem2\tVN:1.0\tCL:mem2 ") +
+      (options.mode == Mode::kBaseline ? "--baseline" : "--batch");
+  return io::sam_header(index.ref(), pg);
+}
+
+}  // namespace mem2::align

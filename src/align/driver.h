@@ -1,0 +1,81 @@
+// End-to-end alignment drivers.
+//
+// BaselineDriver models original BWA-MEM's organization: each read flows
+// through SMEM -> SAL -> CHAIN -> BSW -> SAM before the next read starts;
+// the compressed FM-index (CP128) and LF-walk SAL are used; BSW is scalar;
+// buffers are allocated per read.
+//
+// BatchDriver models the paper's reorganization (Fig. 2): reads are split
+// into batches and every stage runs over the whole batch before the next
+// stage starts; the CP32 index with software prefetching and the flat SA
+// are used; extensions from all reads of the batch are pooled, sorted and
+// fed to the inter-task SIMD BSW; buffers come from per-thread arenas
+// reused across batches.
+//
+// Both produce identical SAM bodies — tests/test_pipeline.cpp enforces it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/options.h"
+#include "index/mem2_index.h"
+#include "io/sam.h"
+#include "seq/read_sim.h"
+#include "util/sw_counters.h"
+#include "util/timer.h"
+
+namespace mem2::align {
+
+enum class Mode { kBaseline, kBatch };
+
+struct DriverOptions {
+  MemOptions mem;
+  Mode mode = Mode::kBatch;
+  int threads = 1;
+  int batch_size = 512;  // reads per batch (batch mode)
+  bool prefetch = true;  // software prefetch in SMEM (batch mode)
+  bsw::BswBatchOptions bsw;  // sorting / ISA for the SIMD engine
+};
+
+struct DriverStats {
+  util::StageTimes stages;
+  util::SwCounters counters;
+  bsw::BswBatchStats bsw_batch;     // batch mode only
+  std::uint64_t reads = 0;
+  std::uint64_t extensions_computed = 0;  // BSW jobs executed
+  std::uint64_t extensions_used = 0;      // jobs the decision logic consumed
+
+  /// The paper's §6.3.2 metric: extra seed pairs extended by the batch
+  /// reorganization (≈14% on their data).
+  double extra_extension_fraction() const {
+    return extensions_used
+               ? static_cast<double>(extensions_computed - extensions_used) /
+                     static_cast<double>(extensions_used)
+               : 0.0;
+  }
+};
+
+/// Align reads single-end; returns SAM records in read order (each read may
+/// produce several records: primary + supplementary/secondary).
+std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
+                                       const std::vector<seq::Read>& reads,
+                                       const DriverOptions& options,
+                                       DriverStats* stats = nullptr);
+
+/// The @PG-bearing SAM header for this aligner.
+std::string sam_header_for(const index::Mem2Index& index, const DriverOptions& options);
+
+// Internal entry points (one per mode), exposed for the benches.
+void align_reads_baseline(const index::Mem2Index& index,
+                          const std::vector<seq::Read>& reads,
+                          const DriverOptions& options,
+                          std::vector<std::vector<io::SamRecord>>& per_read,
+                          DriverStats* stats);
+void align_reads_batch(const index::Mem2Index& index,
+                       const std::vector<seq::Read>& reads,
+                       const DriverOptions& options,
+                       std::vector<std::vector<io::SamRecord>>& per_read,
+                       DriverStats* stats);
+
+}  // namespace mem2::align

@@ -1,0 +1,3 @@
+// MemOptions is header-only; this TU anchors the module in the build and
+// will host option parsing/validation helpers as they grow.
+#include "align/options.h"

@@ -1,0 +1,349 @@
+// Batch driver: the paper's reorganized workflow (Fig. 2).
+//
+// Reads are processed in batches; each stage runs across the whole batch
+// before the next stage starts.  SMEM uses the CP32 index with software
+// prefetching; SAL is a flat-array load; BSW jobs from *all* reads of the
+// batch are pooled and executed by the inter-task SIMD engine in four
+// rounds (left try-1, left try-2, right try-1, right try-2 — the band-
+// doubling retries of mem_chain2aln).  Because which seeds deserve
+// extension only becomes known when earlier seeds' regions exist, the batch
+// driver extends every seed and lets process_chains() replay the original
+// decision logic against the precomputed results — the paper's
+// "extend all the seeds of a read, then post process" strategy (§5.3.2),
+// which buys SIMD parallelism for ~14% extra extensions.
+//
+// Cross-batch buffers live in containers owned by BatchWorkspace whose
+// capacity persists, plus an Arena for the per-read code buffers: after the
+// first batch the steady state performs no system allocations (§3.2).
+#include <omp.h>
+
+#include <algorithm>
+
+#include "align/driver.h"
+#include "align/sam_format.h"
+#include "util/arena.h"
+
+namespace mem2::align {
+
+namespace {
+
+struct SeedJobResults {
+  bsw::KswResult res[2][2];  // [side][band_try]
+  bool have[2][2] = {{false, false}, {false, false}};
+};
+
+struct ReadState {
+  std::span<const seq::Code> query, query_rev;
+  std::vector<smem::Smem> smems;
+  std::vector<chain::Seed> seeds;
+  std::vector<chain::Chain> chains;
+  double frac_rep = 0;
+  std::vector<ChainRef> crefs;
+  std::vector<std::vector<SeedJobResults>> table;  // [chain][seed]
+  std::uint64_t used = 0;
+
+  void clear() {
+    smems.clear();
+    seeds.clear();
+    chains.clear();
+    crefs.clear();
+    table.clear();
+    used = 0;
+  }
+};
+
+struct JobRef {
+  std::uint32_t read;
+  std::uint32_t chain;
+  std::uint32_t seed;
+  std::uint8_t side;
+  std::uint8_t bt;
+};
+
+/// Replays extensions out of the per-read table.
+class TableSource final : public SeedExtendSource {
+ public:
+  explicit TableSource(ReadState& state) : state_(state) {}
+
+  bsw::KswResult extend(int chain_idx, int seed_idx, int side, int band_try,
+                        const bsw::ExtendJob&) override {
+    const auto& entry =
+        state_.table[static_cast<std::size_t>(chain_idx)][static_cast<std::size_t>(seed_idx)];
+    MEM2_REQUIRE(entry.have[side][band_try], "missing precomputed extension");
+    ++state_.used;
+    return entry.res[side][band_try];
+  }
+
+  const ChainRef* chain_ref(int chain_idx) override {
+    return &state_.crefs[static_cast<std::size_t>(chain_idx)];
+  }
+
+ private:
+  ReadState& state_;
+};
+
+int left_final_score(const SeedJobResults& e, const chain::Seed& s, int a) {
+  if (s.qbeg == 0) return s.len * a;
+  if (e.have[0][1]) return e.res[0][1].score;
+  if (e.have[0][0]) return e.res[0][0].score;
+  return s.len * a;  // empty-target left flank
+}
+
+}  // namespace
+
+void align_reads_batch(const index::Mem2Index& index,
+                       const std::vector<seq::Read>& reads,
+                       const DriverOptions& options,
+                       std::vector<std::vector<io::SamRecord>>& per_read,
+                       DriverStats* stats) {
+  MEM2_REQUIRE(index.has_cp32(), "batch driver needs the CP32 index");
+  MEM2_REQUIRE(index.has_flat_sa(), "batch driver needs the flat SA");
+  MEM2_REQUIRE(options.mem.max_band_try <= 2,
+               "batch enumeration supports at most 2 band tries (bwa's MAX_BAND_TRY)");
+  per_read.assign(reads.size(), {});
+
+  const util::PrefetchPolicy prefetch{options.prefetch};
+  const int n_threads = options.threads;
+  std::vector<util::StageTimes> thread_stages(static_cast<std::size_t>(n_threads));
+  std::vector<util::SwCounters> thread_counters(static_cast<std::size_t>(n_threads));
+
+  // Batch-lifetime containers: capacity survives across batches.
+  std::vector<ReadState> states;
+  util::Arena arena;
+  std::vector<bsw::ExtendJob> jobs;
+  std::vector<JobRef> refs;
+  std::vector<bsw::KswResult> results;
+  std::vector<smem::SmemWorkspace> workspaces(static_cast<std::size_t>(n_threads));
+
+  util::StageTimes& st0 = thread_stages[0];  // serial-section accounting
+
+  for (std::size_t batch_beg = 0; batch_beg < reads.size();
+       batch_beg += static_cast<std::size_t>(options.batch_size)) {
+    const std::size_t batch_end =
+        std::min(reads.size(), batch_beg + static_cast<std::size_t>(options.batch_size));
+    const int nb = static_cast<int>(batch_end - batch_beg);
+    if (states.size() < static_cast<std::size_t>(nb)) states.resize(static_cast<std::size_t>(nb));
+    arena.reset();
+
+    // Encode queries into arena memory (contiguous, reused across batches).
+    {
+      util::ScopedStage s(st0, util::Stage::kMisc);
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        rs.clear();
+        const std::string& bases = reads[batch_beg + static_cast<std::size_t>(i)].bases;
+        auto* q = arena.allocate_array<seq::Code>(bases.size());
+        auto* qr = arena.allocate_array<seq::Code>(bases.size());
+        for (std::size_t j = 0; j < bases.size(); ++j) {
+          q[j] = seq::char_to_code(bases[j]);
+          qr[bases.size() - 1 - j] = q[j];
+        }
+        rs.query = {q, bases.size()};
+        rs.query_rev = {qr, bases.size()};
+      }
+    }
+
+    // --- SMEM stage (whole batch) ---
+#pragma omp parallel num_threads(n_threads)
+    {
+      const int tid = omp_get_thread_num();
+      util::tls_counters().reset();
+      util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
+      util::Timer timer;
+#pragma omp for schedule(dynamic, 8)
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        smem::collect_smems(index.fm32(), rs.query, options.mem.seeding, rs.smems,
+                            workspaces[static_cast<std::size_t>(tid)], prefetch);
+      }
+      st[util::Stage::kSmem] += timer.seconds();
+
+      // --- SAL stage ---
+      timer.restart();
+#pragma omp for schedule(dynamic, 8)
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        rs.seeds = chain::seeds_from_smems(
+            rs.smems, options.mem.chaining,
+            [&](idx_t row) { return index.sa_lookup_flat(row); });
+      }
+      st[util::Stage::kSal] += timer.seconds();
+
+      // --- CHAIN stage ---
+      timer.restart();
+#pragma omp for schedule(dynamic, 8)
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        rs.frac_rep = chain::repetitive_fraction(
+            rs.smems, static_cast<int>(rs.query.size()), options.mem.chaining.max_occ);
+        rs.chains = chain::build_chains(index.ref(), index.l_pac(), rs.seeds,
+                                        static_cast<int>(rs.query.size()),
+                                        options.mem.chaining, rs.frac_rep);
+        chain::filter_chains(rs.chains, options.mem.chaining);
+      }
+      st[util::Stage::kChain] += timer.seconds();
+
+      // --- BSW pre-processing: chain windows + table layout ---
+      timer.restart();
+#pragma omp for schedule(dynamic, 8)
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        rs.crefs.reserve(rs.chains.size());
+        rs.table.resize(rs.chains.size());
+        for (std::size_t ci = 0; ci < rs.chains.size(); ++ci) {
+          rs.crefs.push_back(make_chain_ref(ctx, rs.chains[ci]));
+          rs.table[ci].assign(rs.chains[ci].seeds.size(), SeedJobResults{});
+        }
+      }
+      st[util::Stage::kBswPre] += timer.seconds();
+      thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
+      util::tls_counters().reset();
+    }
+
+    // --- BSW stage: four pooled SIMD rounds (serial enumeration, the
+    // engine itself is the hot part) ---
+    {
+      util::Timer bsw_timer;
+      auto run_round = [&]() {
+        results.clear();
+        bsw::extend_batch(jobs, results, options.mem.ksw, options.bsw,
+                          stats ? &stats->bsw_batch : nullptr);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          const JobRef& ref = refs[j];
+          auto& entry = states[ref.read].table[ref.chain][ref.seed];
+          entry.res[ref.side][ref.bt] = results[j];
+          entry.have[ref.side][ref.bt] = true;
+        }
+        if (stats) stats->extensions_computed += jobs.size();
+      };
+
+      // Round L1.
+      jobs.clear();
+      refs.clear();
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        for (std::size_t ci = 0; ci < rs.chains.size(); ++ci)
+          for (std::size_t si = 0; si < rs.chains[ci].seeds.size(); ++si) {
+            const chain::Seed& s = rs.chains[ci].seeds[si];
+            if (s.qbeg == 0) continue;
+            const auto job = make_left_job(ctx, rs.crefs[ci], s, options.mem.w);
+            if (job.tlen == 0) continue;
+            jobs.push_back(job);
+            refs.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(ci),
+                            static_cast<std::uint32_t>(si), 0, 0});
+          }
+      }
+      run_round();
+
+      // Round L2: band-doubling retries.
+      {
+        std::vector<JobRef> prev_refs = refs;
+        jobs.clear();
+        refs.clear();
+        for (const JobRef& ref : prev_refs) {
+          ReadState& rs = states[ref.read];
+          const auto& e = rs.table[ref.chain][ref.seed];
+          const auto& r1 = e.res[0][0];
+          if (!band_retry_needed(r1.score, -1, r1.max_off, options.mem.w)) continue;
+          ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+          const chain::Seed& s = rs.chains[ref.chain].seeds[ref.seed];
+          jobs.push_back(make_left_job(ctx, rs.crefs[ref.chain], s, options.mem.w << 1));
+          refs.push_back({ref.read, ref.chain, ref.seed, 0, 1});
+        }
+        run_round();
+      }
+
+      // Round R1.
+      jobs.clear();
+      refs.clear();
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        const int l_query = static_cast<int>(rs.query.size());
+        for (std::size_t ci = 0; ci < rs.chains.size(); ++ci)
+          for (std::size_t si = 0; si < rs.chains[ci].seeds.size(); ++si) {
+            const chain::Seed& s = rs.chains[ci].seeds[si];
+            if (s.qbeg + s.len == l_query) continue;
+            const int sc0 =
+                left_final_score(rs.table[ci][si], s, options.mem.ksw.a);
+            const auto job = make_right_job(ctx, rs.crefs[ci], s, options.mem.w, sc0);
+            if (job.tlen == 0) continue;
+            jobs.push_back(job);
+            refs.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(ci),
+                            static_cast<std::uint32_t>(si), 1, 0});
+          }
+      }
+      run_round();
+
+      // Round R2.
+      {
+        std::vector<JobRef> prev_refs = refs;
+        jobs.clear();
+        refs.clear();
+        for (const JobRef& ref : prev_refs) {
+          ReadState& rs = states[ref.read];
+          const chain::Seed& s = rs.chains[ref.chain].seeds[ref.seed];
+          const auto& e = rs.table[ref.chain][ref.seed];
+          const int sc0 = left_final_score(e, s, options.mem.ksw.a);
+          const auto& r1 = e.res[1][0];
+          if (!band_retry_needed(r1.score, sc0, r1.max_off, options.mem.w)) continue;
+          ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+          jobs.push_back(
+              make_right_job(ctx, rs.crefs[ref.chain], s, options.mem.w << 1, sc0));
+          refs.push_back({ref.read, ref.chain, ref.seed, 1, 1});
+        }
+        run_round();
+      }
+      st0[util::Stage::kBsw] += bsw_timer.seconds();
+      // The serial rounds above bumped the master thread's counters; bank
+      // them before the next parallel region resets thread-local state.
+      thread_counters[0] += util::tls_counters();
+      util::tls_counters().reset();
+    }
+
+    // --- Replay the decision logic, then SAM ---
+#pragma omp parallel num_threads(n_threads)
+    {
+      const int tid = omp_get_thread_num();
+      util::tls_counters().reset();
+      util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
+      util::Timer timer;
+      std::vector<AlnReg> regs;
+#pragma omp for schedule(dynamic, 8)
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        TableSource source(rs);
+        regs.clear();
+        {
+          util::ScopedStage s(st, util::Stage::kBswPre);
+          process_chains(ctx, rs.chains, source, regs);
+        }
+        {
+          util::ScopedStage s(st, util::Stage::kSamForm);
+          sort_dedup_regions(regs, options.mem);
+          mark_primary(regs, options.mem);
+          per_read[batch_beg + static_cast<std::size_t>(i)] =
+              regions_to_sam(ctx, reads[batch_beg + static_cast<std::size_t>(i)], regs);
+        }
+      }
+      (void)timer;
+      thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
+    }
+
+    if (stats) {
+      std::uint64_t used = 0;
+      for (int i = 0; i < nb; ++i) used += states[static_cast<std::size_t>(i)].used;
+      stats->extensions_used += used;
+    }
+  }
+
+  if (stats) {
+    for (const auto& t : thread_stages) stats->stages += t;
+    for (const auto& c : thread_counters) stats->counters += c;
+  }
+}
+
+}  // namespace mem2::align

@@ -1,0 +1,43 @@
+// Alignment regions (bwa mem_alnreg_t) and their post-processing:
+// dedup, primary marking, approximate single-end mapq.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/options.h"
+#include "util/common.h"
+
+namespace mem2::align {
+
+struct AlnReg {
+  idx_t rb = 0, re = 0;  // reference interval, doubled coordinates
+  int qb = 0, qe = 0;    // query interval
+  int rid = -1;
+  int score = 0;         // best local score
+  int truesc = 0;        // score excluding clipping bonus decisions
+  int sub = 0;           // best competing (overlapping secondary) score
+  int csub = 0;          // second-best score within the same region class
+  int sub_n = 0;         // number of near-equal suboptimal hits
+  int w = 0;             // band width actually used
+  int seedcov = 0;       // bases covered by seeds inside the region
+  int seedlen0 = 0;      // length of the seed that generated the region
+  int secondary = -1;    // index of the primary region, or -1 if primary
+  float frac_rep = 0;
+
+  bool operator==(const AlnReg&) const = default;
+};
+
+/// Sort by (rb, qb) and remove near-duplicate regions (bwa
+/// mem_sort_dedup_patch without the rarely-taken patch step; both drivers
+/// share this code so their outputs stay identical).
+void sort_dedup_regions(std::vector<AlnReg>& regs, const MemOptions& opt);
+
+/// Sort by score (desc) and mark secondary regions; fills sub/sub_n
+/// (bwa mem_mark_primary_se).
+void mark_primary(std::vector<AlnReg>& regs, const MemOptions& opt);
+
+/// Approximate single-end mapping quality (bwa mem_approx_mapq_se).
+int approx_mapq(const AlnReg& reg, const MemOptions& opt);
+
+}  // namespace mem2::align

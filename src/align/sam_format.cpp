@@ -1,0 +1,164 @@
+#include "align/sam_format.h"
+
+#include <algorithm>
+
+namespace mem2::align {
+
+int edit_distance(const bsw::Cigar& cigar, const seq::Code* query,
+                  const seq::Code* target) {
+  int nm = 0, qi = 0, ti = 0;
+  for (const auto& op : cigar) {
+    if (op.op == 'M') {
+      for (int k = 0; k < op.len; ++k, ++qi, ++ti)
+        nm += query[qi] != target[ti] || query[qi] > 3;
+    } else if (op.op == 'I') {
+      nm += op.len;
+      qi += op.len;
+    } else if (op.op == 'D') {
+      nm += op.len;
+      ti += op.len;
+    }
+  }
+  return nm;
+}
+
+namespace {
+
+struct SamAln {
+  int rid = -1;
+  idx_t pos = 0;  // 0-based within contig
+  bool rev = false;
+  bsw::Cigar cigar;  // without clips
+  int clip5 = 0, clip3 = 0;  // query-order soft clips (after strand flip)
+  int score = 0;
+  int nm = 0;
+  int mapq = 0;
+};
+
+// bwa mem_reg2aln: fix the region endpoints into a concrete alignment.
+SamAln region_to_aln(const ExtendContext& ctx, const AlnReg& reg) {
+  const idx_t l_pac = ctx.index.l_pac();
+  const int l_query = static_cast<int>(ctx.query.size());
+
+  SamAln aln;
+  aln.rev = reg.rb >= l_pac;
+  aln.score = reg.score;
+
+  // Orient everything to the reference-forward strand.
+  int qb = reg.qb, qe = reg.qe;
+  idx_t rb = reg.rb, re = reg.re;
+  std::vector<seq::Code> qseg;
+  if (!aln.rev) {
+    qseg.assign(ctx.query.begin() + qb, ctx.query.begin() + qe);
+  } else {
+    // Reverse-complement the query segment; coordinates flip.
+    std::vector<seq::Code> tmp(ctx.query.begin() + qb, ctx.query.begin() + qe);
+    seq::reverse_complement_inplace(tmp);
+    qseg = std::move(tmp);
+    const int nqb = l_query - qe, nqe = l_query - qb;
+    qb = nqb;
+    qe = nqe;
+    const idx_t nrb = 2 * l_pac - re, nre = 2 * l_pac - rb;
+    rb = nrb;
+    re = nre;
+  }
+  auto target = ctx.index.fetch(rb, re);
+
+  // Infer the band from the achieved score (bwa infer_bw): a near-perfect
+  // region needs almost no band, which keeps SAM-FORM at the paper's ~2.5%
+  // share instead of paying the full extension band here.
+  const auto& ksw = ctx.opt.ksw;
+  auto infer_bw = [&](int l1, int l2, int score, int q_pen, int r_pen) {
+    if (l1 == l2 && l1 * ksw.a - score < (q_pen + r_pen - ksw.a) * 2) return 0;
+    int w = static_cast<int>(
+        (static_cast<double>(std::min(l1, l2)) * ksw.a - score - q_pen) / r_pen + 2.0);
+    return std::max(w, std::abs(l1 - l2));
+  };
+  const int l1 = qe - qb, l2 = static_cast<int>(re - rb);
+  int band = std::max(infer_bw(l1, l2, reg.truesc, ksw.o_del, ksw.e_del),
+                      infer_bw(l1, l2, reg.truesc, ksw.o_ins, ksw.e_ins));
+  band = std::min(band, ctx.opt.w * 4);
+  // Retry with a doubled band while the global score falls short of what
+  // the extension achieved (bwa mem_reg2aln loop).
+  int score = bsw::ksw_global(qseg.data(), static_cast<int>(qseg.size()),
+                              target.data(), static_cast<int>(target.size()),
+                              ksw, band, aln.cigar);
+  while (score < reg.truesc && band < ctx.opt.w * 4) {
+    band = std::min(band * 2 + 1, ctx.opt.w * 4);
+    score = bsw::ksw_global(qseg.data(), static_cast<int>(qseg.size()),
+                            target.data(), static_cast<int>(target.size()),
+                            ksw, band, aln.cigar);
+  }
+  aln.nm = edit_distance(aln.cigar, qseg.data(), target.data());
+
+  const auto [rid, off] = ctx.index.ref().locate(rb);
+  aln.rid = rid;
+  aln.pos = off;
+  aln.clip5 = qb;
+  aln.clip3 = l_query - qe;
+  return aln;
+}
+
+std::string cigar_with_clips(const SamAln& aln) {
+  std::string s;
+  if (aln.clip5) s += std::to_string(aln.clip5) + 'S';
+  s += bsw::cigar_string(aln.cigar);
+  if (aln.clip3) s += std::to_string(aln.clip3) + 'S';
+  return s;
+}
+
+io::SamRecord unmapped_record(const seq::Read& read) {
+  io::SamRecord rec;
+  rec.qname = read.name;
+  rec.flag = io::kFlagUnmapped;
+  rec.seq = read.bases;
+  rec.qual = read.qual;
+  rec.tags = {"AS:i:0"};
+  return rec;
+}
+
+}  // namespace
+
+std::vector<io::SamRecord> regions_to_sam(const ExtendContext& ctx,
+                                          const seq::Read& read,
+                                          std::span<const AlnReg> regs) {
+  std::vector<io::SamRecord> out;
+
+  // Survivors: ordered by the mark_primary sort (score desc).
+  bool first = true;
+  for (const auto& reg : regs) {
+    if (reg.score < ctx.opt.min_out_score) continue;
+    if (reg.secondary >= 0 && !ctx.opt.output_secondary) continue;
+
+    const SamAln aln = region_to_aln(ctx, reg);
+    io::SamRecord rec;
+    rec.qname = read.name;
+    rec.flag = 0;
+    if (aln.rev) rec.flag |= io::kFlagReverse;
+    if (reg.secondary >= 0)
+      rec.flag |= io::kFlagSecondary;
+    else if (!first)
+      rec.flag |= io::kFlagSupplementary;
+    rec.rname = ctx.index.ref().contigs()[static_cast<std::size_t>(aln.rid)].name;
+    rec.pos = aln.pos + 1;  // SAM is 1-based
+    rec.mapq = reg.secondary >= 0 ? 0 : approx_mapq(reg, ctx.opt);
+    rec.cigar = cigar_with_clips(aln);
+    if (!aln.rev) {
+      rec.seq = read.bases;
+      rec.qual = read.qual;
+    } else {
+      rec.seq = seq::reverse_complement_ascii(read.bases);
+      rec.qual.assign(read.qual.rbegin(), read.qual.rend());
+    }
+    rec.tags = {"NM:i:" + std::to_string(aln.nm),
+                "AS:i:" + std::to_string(reg.score),
+                "XS:i:" + std::to_string(reg.sub)};
+    out.push_back(std::move(rec));
+    if (reg.secondary < 0) first = false;
+  }
+
+  if (out.empty()) out.push_back(unmapped_record(read));
+  return out;
+}
+
+}  // namespace mem2::align

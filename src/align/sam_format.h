@@ -1,0 +1,30 @@
+// SAM-FORM stage: convert alignment regions to SAM records
+// (bwa mem_reg2aln + mem_aln2sam, single-end).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/extend.h"
+#include "io/sam.h"
+#include "seq/read_sim.h"
+
+namespace mem2::align {
+
+/// Convert one read's post-processed regions into SAM records.  Emits the
+/// best region as the primary record, other non-secondary regions as
+/// supplementary (0x800), and (optionally) secondaries (0x100).  Regions
+/// scoring below opt.min_out_score are suppressed; a read with no survivor
+/// gets one unmapped record.  Soft clips are used throughout (bwa hard-clips
+/// supplementaries by default; we document this deviation in DESIGN.md).
+std::vector<io::SamRecord> regions_to_sam(const ExtendContext& ctx,
+                                          const seq::Read& read,
+                                          std::span<const AlnReg> regs);
+
+/// NM (edit distance) of an alignment path: walks the CIGAR comparing
+/// query and target codes; exposed for tests.
+int edit_distance(const bsw::Cigar& cigar, const seq::Code* query,
+                  const seq::Code* target);
+
+}  // namespace mem2::align

@@ -1,0 +1,49 @@
+// Batched BSW execution (paper §5.3): precision split, length sorting and
+// chunked dispatch into the inter-task engines.
+//
+// Pipeline per batch:
+//   1. split jobs into 8-bit-eligible and 16-bit sets (§5.4.1);
+//   2. within each set, radix-sort indices by (qlen, tlen) so that pairs
+//      sharing a SIMD register have similar lengths (§5.3.1 — the 1.5-1.7x
+//      "sorting" rows of Table 6); optional, so the bench can measure both;
+//   3. run the engine on chunks of engine.width jobs;
+//   4. scatter results back to the original job order.
+#pragma once
+
+#include <vector>
+
+#include "bsw/bsw_engine.h"
+
+namespace mem2::bsw {
+
+struct BswBatchOptions {
+  bool sort_by_length = true;
+  util::Isa isa = util::Isa::kAvx512;  // capped by the CPU at dispatch
+  /// Force one precision for benchmarking; default: auto-split.
+  bool force_16bit = false;
+};
+
+struct BswBatchStats {
+  BswBreakdown breakdown;       // engine-internal phase times (Table 8)
+  double sort_seconds = 0;
+  std::uint64_t jobs_8bit = 0;
+  std::uint64_t jobs_16bit = 0;
+  std::uint64_t chunks = 0;
+
+  BswBatchStats& operator+=(const BswBatchStats& o) {
+    breakdown += o.breakdown;
+    sort_seconds += o.sort_seconds;
+    jobs_8bit += o.jobs_8bit;
+    jobs_16bit += o.jobs_16bit;
+    chunks += o.chunks;
+    return *this;
+  }
+};
+
+/// Run all jobs; results land in out[i] for jobs[i] regardless of internal
+/// reordering.  Deterministic for a fixed job list and options.
+void extend_batch(const std::vector<ExtendJob>& jobs, std::vector<KswResult>& out,
+                  const KswParams& params, const BswBatchOptions& options = {},
+                  BswBatchStats* stats = nullptr);
+
+}  // namespace mem2::bsw

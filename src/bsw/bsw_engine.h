@@ -1,0 +1,63 @@
+// Inter-task vectorized banded Smith-Waterman (paper §5.3).
+//
+// W sequence pairs occupy the W lanes of one SIMD register; every computed
+// cell (i, j) is computed for all pairs at once, with per-lane masks
+// handling differing bands, lengths and aborted pairs.  8-bit lanes give
+// W=64 on AVX512 / 32 on AVX2; 16-bit lanes half that.  A scalar-emulated
+// engine (plain arrays, same template) runs everywhere and anchors the
+// identical-output tests.
+//
+// Every engine must return bit-identical KswResults to ksw_extend_scalar —
+// that is the paper's correctness contract and is enforced by
+// tests/test_bsw_simd.cpp.
+#pragma once
+
+#include "bsw/ksw.h"
+#include "util/cpu_features.h"
+
+namespace mem2::bsw {
+
+/// Lane precision of the vectorized kernel (paper §5.4.1).
+enum class Precision { k8bit, k16bit };
+
+/// Wall-time breakdown of one engine invocation (paper Table 8).
+struct BswBreakdown {
+  double pre = 0;     // AoS->SoA conversion, first-row fill, lane setup
+  double band1 = 0;   // per-row band entry computation (adjustment I)
+  double cells = 0;   // DP cell computation
+  double band2 = 0;   // post-row band shrink scans (adjustment II)
+
+  double total() const { return pre + band1 + cells + band2; }
+  BswBreakdown& operator+=(const BswBreakdown& o) {
+    pre += o.pre;
+    band1 += o.band1;
+    cells += o.cells;
+    band2 += o.band2;
+    return *this;
+  }
+};
+
+/// An engine processes up to width() jobs per call.
+struct BswEngine {
+  using Fn = void (*)(const ExtendJob* jobs, KswResult* out, int n,
+                      const KswParams& params, BswBreakdown* breakdown);
+  Fn run = nullptr;
+  int width = 0;  // lanes per invocation
+  const char* name = "";
+};
+
+/// True if the job's score range fits the 8-bit engine without saturation.
+bool fits_8bit(const ExtendJob& job, const KswParams& params);
+
+/// Engine lookup; isa is capped by what the CPU supports.
+BswEngine get_engine(util::Isa isa, Precision precision);
+
+// Concrete engines (defined in the per-ISA TUs).
+extern const BswEngine kEngineScalarU8;
+extern const BswEngine kEngineScalarU16;
+extern const BswEngine kEngineAvx2U8;
+extern const BswEngine kEngineAvx2U16;
+extern const BswEngine kEngineAvx512U8;
+extern const BswEngine kEngineAvx512U16;
+
+}  // namespace mem2::bsw

@@ -1,0 +1,91 @@
+// AVX2 inter-task BSW engines: 32 pairs at 8-bit precision, 16 pairs at
+// 16-bit (the paper's HSW configuration).  Compiled with -mavx2; reached
+// only through runtime dispatch.
+#include <immintrin.h>
+
+#include "bsw/bsw_engine_impl.h"
+
+namespace mem2::bsw {
+
+namespace {
+
+struct VecU8 {
+  static constexpr int W = 32;
+  using elem = std::uint8_t;
+  __m256i v;
+
+  static VecU8 wrap(__m256i x) { return VecU8{x}; }
+  static VecU8 zero() { return wrap(_mm256_setzero_si256()); }
+  static VecU8 set1(int x) { return wrap(_mm256_set1_epi8(static_cast<char>(x))); }
+  static VecU8 load(const elem* p) {
+    return wrap(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  void store(elem* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static VecU8 adds(VecU8 a, VecU8 b) { return wrap(_mm256_adds_epu8(a.v, b.v)); }
+  static VecU8 subs(VecU8 a, VecU8 b) { return wrap(_mm256_subs_epu8(a.v, b.v)); }
+  static VecU8 vmax(VecU8 a, VecU8 b) { return wrap(_mm256_max_epu8(a.v, b.v)); }
+  static VecU8 cmpeq(VecU8 a, VecU8 b) { return wrap(_mm256_cmpeq_epi8(a.v, b.v)); }
+  static VecU8 cmpgt_u(VecU8 a, VecU8 b) {
+    // a > b (unsigned): max(a,b)==a and a!=b.
+    const __m256i eq = _mm256_cmpeq_epi8(a.v, b.v);
+    const __m256i amax = _mm256_cmpeq_epi8(_mm256_max_epu8(a.v, b.v), a.v);
+    return wrap(_mm256_andnot_si256(eq, amax));
+  }
+  static VecU8 vand(VecU8 a, VecU8 b) { return wrap(_mm256_and_si256(a.v, b.v)); }
+  static VecU8 vor(VecU8 a, VecU8 b) { return wrap(_mm256_or_si256(a.v, b.v)); }
+  static VecU8 vandnot(VecU8 m, VecU8 a) { return wrap(_mm256_andnot_si256(m.v, a.v)); }
+  static VecU8 blend(VecU8 m, VecU8 a, VecU8 b) {
+    return wrap(_mm256_blendv_epi8(b.v, a.v, m.v));
+  }
+  static bool any(VecU8 m) { return !_mm256_testz_si256(m.v, m.v); }
+};
+
+struct VecU16 {
+  static constexpr int W = 16;
+  using elem = std::uint16_t;
+  __m256i v;
+
+  static VecU16 wrap(__m256i x) { return VecU16{x}; }
+  static VecU16 zero() { return wrap(_mm256_setzero_si256()); }
+  static VecU16 set1(int x) { return wrap(_mm256_set1_epi16(static_cast<short>(x))); }
+  static VecU16 load(const elem* p) {
+    return wrap(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  void store(elem* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static VecU16 adds(VecU16 a, VecU16 b) { return wrap(_mm256_adds_epu16(a.v, b.v)); }
+  static VecU16 subs(VecU16 a, VecU16 b) { return wrap(_mm256_subs_epu16(a.v, b.v)); }
+  static VecU16 vmax(VecU16 a, VecU16 b) { return wrap(_mm256_max_epu16(a.v, b.v)); }
+  static VecU16 cmpeq(VecU16 a, VecU16 b) { return wrap(_mm256_cmpeq_epi16(a.v, b.v)); }
+  static VecU16 cmpgt_u(VecU16 a, VecU16 b) {
+    const __m256i eq = _mm256_cmpeq_epi16(a.v, b.v);
+    const __m256i amax = _mm256_cmpeq_epi16(_mm256_max_epu16(a.v, b.v), a.v);
+    return wrap(_mm256_andnot_si256(eq, amax));
+  }
+  static VecU16 vand(VecU16 a, VecU16 b) { return wrap(_mm256_and_si256(a.v, b.v)); }
+  static VecU16 vor(VecU16 a, VecU16 b) { return wrap(_mm256_or_si256(a.v, b.v)); }
+  static VecU16 vandnot(VecU16 m, VecU16 a) { return wrap(_mm256_andnot_si256(m.v, a.v)); }
+  static VecU16 blend(VecU16 m, VecU16 a, VecU16 b) {
+    return wrap(_mm256_blendv_epi8(b.v, a.v, m.v));  // mask is per-lane all-ones
+  }
+  static bool any(VecU16 m) { return !_mm256_testz_si256(m.v, m.v); }
+};
+
+void run_u8(const ExtendJob* jobs, KswResult* out, int n, const KswParams& p,
+            BswBreakdown* bd) {
+  detail::bsw_extend_inter_task<VecU8>(jobs, out, n, p, bd);
+}
+void run_u16(const ExtendJob* jobs, KswResult* out, int n, const KswParams& p,
+             BswBreakdown* bd) {
+  detail::bsw_extend_inter_task<VecU16>(jobs, out, n, p, bd);
+}
+
+}  // namespace
+
+const BswEngine kEngineAvx2U8 = {&run_u8, 32, "avx2-8bit"};
+const BswEngine kEngineAvx2U16 = {&run_u16, 16, "avx2-16bit"};
+
+}  // namespace mem2::bsw

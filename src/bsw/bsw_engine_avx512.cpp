@@ -1,0 +1,85 @@
+// AVX512BW inter-task BSW engines: 64 pairs at 8-bit precision, 32 pairs at
+// 16-bit (the paper's SKX configuration, SIMD widths 64/32).  Mask registers
+// are materialized as byte masks so the shared template stays ISA-agnostic.
+// Compiled with -mavx512f -mavx512bw -mavx512vl; reached only via dispatch.
+#include <immintrin.h>
+
+#include "bsw/bsw_engine_impl.h"
+
+namespace mem2::bsw {
+
+namespace {
+
+struct VecU8 {
+  static constexpr int W = 64;
+  using elem = std::uint8_t;
+  __m512i v;
+
+  static VecU8 wrap(__m512i x) { return VecU8{x}; }
+  static VecU8 zero() { return wrap(_mm512_setzero_si512()); }
+  static VecU8 set1(int x) { return wrap(_mm512_set1_epi8(static_cast<char>(x))); }
+  static VecU8 load(const elem* p) { return wrap(_mm512_loadu_si512(p)); }
+  void store(elem* p) const { _mm512_storeu_si512(p, v); }
+  static VecU8 adds(VecU8 a, VecU8 b) { return wrap(_mm512_adds_epu8(a.v, b.v)); }
+  static VecU8 subs(VecU8 a, VecU8 b) { return wrap(_mm512_subs_epu8(a.v, b.v)); }
+  static VecU8 vmax(VecU8 a, VecU8 b) { return wrap(_mm512_max_epu8(a.v, b.v)); }
+  static VecU8 cmpeq(VecU8 a, VecU8 b) {
+    return wrap(_mm512_movm_epi8(_mm512_cmpeq_epu8_mask(a.v, b.v)));
+  }
+  static VecU8 cmpgt_u(VecU8 a, VecU8 b) {
+    return wrap(_mm512_movm_epi8(_mm512_cmpgt_epu8_mask(a.v, b.v)));
+  }
+  static VecU8 vand(VecU8 a, VecU8 b) { return wrap(_mm512_and_si512(a.v, b.v)); }
+  static VecU8 vor(VecU8 a, VecU8 b) { return wrap(_mm512_or_si512(a.v, b.v)); }
+  static VecU8 vandnot(VecU8 m, VecU8 a) { return wrap(_mm512_andnot_si512(m.v, a.v)); }
+  static VecU8 blend(VecU8 m, VecU8 a, VecU8 b) {
+    const __mmask64 k = _mm512_movepi8_mask(m.v);
+    return wrap(_mm512_mask_blend_epi8(k, b.v, a.v));
+  }
+  static bool any(VecU8 m) { return _mm512_test_epi64_mask(m.v, m.v) != 0; }
+};
+
+struct VecU16 {
+  static constexpr int W = 32;
+  using elem = std::uint16_t;
+  __m512i v;
+
+  static VecU16 wrap(__m512i x) { return VecU16{x}; }
+  static VecU16 zero() { return wrap(_mm512_setzero_si512()); }
+  static VecU16 set1(int x) { return wrap(_mm512_set1_epi16(static_cast<short>(x))); }
+  static VecU16 load(const elem* p) { return wrap(_mm512_loadu_si512(p)); }
+  void store(elem* p) const { _mm512_storeu_si512(p, v); }
+  static VecU16 adds(VecU16 a, VecU16 b) { return wrap(_mm512_adds_epu16(a.v, b.v)); }
+  static VecU16 subs(VecU16 a, VecU16 b) { return wrap(_mm512_subs_epu16(a.v, b.v)); }
+  static VecU16 vmax(VecU16 a, VecU16 b) { return wrap(_mm512_max_epu16(a.v, b.v)); }
+  static VecU16 cmpeq(VecU16 a, VecU16 b) {
+    return wrap(_mm512_movm_epi16(_mm512_cmpeq_epu16_mask(a.v, b.v)));
+  }
+  static VecU16 cmpgt_u(VecU16 a, VecU16 b) {
+    return wrap(_mm512_movm_epi16(_mm512_cmpgt_epu16_mask(a.v, b.v)));
+  }
+  static VecU16 vand(VecU16 a, VecU16 b) { return wrap(_mm512_and_si512(a.v, b.v)); }
+  static VecU16 vor(VecU16 a, VecU16 b) { return wrap(_mm512_or_si512(a.v, b.v)); }
+  static VecU16 vandnot(VecU16 m, VecU16 a) { return wrap(_mm512_andnot_si512(m.v, a.v)); }
+  static VecU16 blend(VecU16 m, VecU16 a, VecU16 b) {
+    const __mmask32 k = _mm512_movepi16_mask(m.v);
+    return wrap(_mm512_mask_blend_epi16(k, b.v, a.v));
+  }
+  static bool any(VecU16 m) { return _mm512_test_epi64_mask(m.v, m.v) != 0; }
+};
+
+void run_u8(const ExtendJob* jobs, KswResult* out, int n, const KswParams& p,
+            BswBreakdown* bd) {
+  detail::bsw_extend_inter_task<VecU8>(jobs, out, n, p, bd);
+}
+void run_u16(const ExtendJob* jobs, KswResult* out, int n, const KswParams& p,
+             BswBreakdown* bd) {
+  detail::bsw_extend_inter_task<VecU16>(jobs, out, n, p, bd);
+}
+
+}  // namespace
+
+const BswEngine kEngineAvx512U8 = {&run_u8, 64, "avx512-8bit"};
+const BswEngine kEngineAvx512U16 = {&run_u16, 32, "avx512-16bit"};
+
+}  // namespace mem2::bsw

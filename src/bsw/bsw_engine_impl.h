@@ -1,0 +1,382 @@
+// Shared template implementation of the inter-task BSW engine.
+//
+// Included ONLY by the per-ISA translation units (bsw_engine_scalar.cpp,
+// bsw_engine_avx2.cpp, bsw_engine_avx512.cpp), each of which supplies a
+// vector abstraction V:
+//
+//   struct V {
+//     static constexpr int W;        // lane count
+//     using elem;                    // uint8_t or uint16_t
+//     static V zero(); set1(int); load(const elem*);
+//     void store(elem*) const;
+//     adds(a,b) subs(a,b)            // unsigned saturating
+//     vmax(a,b) cmpeq(a,b) cmpgt_u(a,b)
+//     vand vor vandnot(m,a)          // (~m) & a
+//     blend(m,a,b)                   // m ? a : b, per lane
+//     any(m)                         // any lane nonzero
+//   };
+//
+// The algorithm mirrors ksw_extend_scalar lane for lane.  Unsigned
+// saturating arithmetic replaces the scalar signed max(...,0) clamps; the
+// bias trick (score + b stored, then subtracted) keeps the per-cell match
+// score non-negative.  Band entry/shrink run with per-lane compares and
+// blends, one cell at a time from both row ends, exactly as the paper
+// describes in §5.4 — their cost is what Table 8 measures.  Scratch memory
+// is thread-local and reused across chunks (the §3.2 allocation policy).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bsw/bsw_engine.h"
+#include "util/sw_counters.h"
+#include "util/tsc.h"
+
+namespace mem2::bsw::detail {
+
+/// Per-thread scratch reused across engine invocations.  reserve() must be
+/// called with the total requirement BEFORE slicing: slices alias the one
+/// backing buffer, so growing it mid-call would invalidate earlier slices.
+struct BswScratch {
+  std::vector<std::uint8_t> bytes;
+  std::size_t offset = 0;
+
+  void reserve(std::size_t total) {
+    if (bytes.size() < total) bytes.resize(total);
+    offset = 0;
+  }
+
+  template <typename T>
+  T* slice(std::size_t count) {
+    offset = (offset + 63) & ~std::size_t{63};
+    T* p = reinterpret_cast<T*>(bytes.data() + offset);
+    offset += count * sizeof(T);
+    MEM2_REQUIRE(offset <= bytes.size(), "BSW scratch overflow");
+    return p;
+  }
+};
+
+inline BswScratch& tls_scratch() {
+  thread_local BswScratch scratch;
+  return scratch;
+}
+
+template <class V>
+void bsw_extend_inter_task(const ExtendJob* jobs, KswResult* out, int n,
+                           const KswParams& p, BswBreakdown* bd) {
+  using elem = typename V::elem;
+  constexpr int W = V::W;
+  MEM2_REQUIRE(n >= 1 && n <= W, "batch size exceeds engine width");
+
+  std::uint64_t tick = bd ? util::tsc_now() : 0;
+  auto phase_end = [&](double BswBreakdown::* slot) {
+    if (!bd) return;
+    const std::uint64_t now = util::tsc_now();
+    bd->*slot += util::tsc_to_seconds(now - tick);
+    tick = now;
+  };
+
+  // ---------------- pre-processing (Table 8 "Pre-processing") ------------
+  int max_qlen = 0, max_tlen = 0;
+  for (int z = 0; z < n; ++z) {
+    MEM2_REQUIRE(jobs[z].qlen > 0 && jobs[z].tlen > 0, "empty BSW job");
+    max_qlen = std::max(max_qlen, jobs[z].qlen);
+    max_tlen = std::max(max_tlen, jobs[z].tlen);
+  }
+
+  const int oe_del = p.o_del + p.e_del, oe_ins = p.o_ins + p.e_ins;
+  const int bias = std::max(p.b, 1);
+
+  // Thread-local scratch: no allocations in steady state (§3.2).
+  BswScratch& scratch = tls_scratch();
+  const std::size_t q_elems = static_cast<std::size_t>(max_qlen) * W;
+  const std::size_t t_elems = static_cast<std::size_t>(max_tlen) * W;
+  const std::size_t eh_elems = static_cast<std::size_t>(max_qlen + 2) * W;
+  scratch.reserve((q_elems + t_elems + 2 * eh_elems) * sizeof(elem) + 4 * 64);
+  elem* q_soa = scratch.slice<elem>(q_elems);
+  elem* t_soa = scratch.slice<elem>(t_elems);
+  elem* eh_h = scratch.slice<elem>(eh_elems);
+  elem* eh_e = scratch.slice<elem>(eh_elems);
+
+  // AoS -> SoA (paper §5.3.3).  Lanes beyond n keep stale bytes: they are
+  // masked inactive everywhere.
+  for (int z = 0; z < n; ++z) {
+    for (int j = 0; j < jobs[z].qlen; ++j)
+      q_soa[static_cast<std::size_t>(j) * W + static_cast<std::size_t>(z)] =
+          static_cast<elem>(jobs[z].query[j]);
+    for (int i = 0; i < jobs[z].tlen; ++i)
+      t_soa[static_cast<std::size_t>(i) * W + static_cast<std::size_t>(z)] =
+          static_cast<elem>(jobs[z].target[i]);
+  }
+  std::memset(eh_h, 0, eh_elems * sizeof(elem));
+  std::memset(eh_e, 0, eh_elems * sizeof(elem));
+
+  // Per-lane scalar state (fixed arrays so the band-entry loop vectorizes).
+  alignas(64) int qlen[W] = {}, tlen[W] = {}, wband[W] = {}, h0[W] = {};
+  alignas(64) int beg[W] = {}, end[W] = {};
+  int maxv[W] = {}, max_i[W], max_j[W], max_ie[W], gscore[W], max_off[W] = {};
+  bool done[W];
+  for (int z = 0; z < W; ++z) {
+    max_i[z] = max_j[z] = max_ie[z] = -1;
+    gscore[z] = -1;
+    done[z] = z >= n;
+  }
+  auto& ctr = util::tls_counters();
+  for (int z = 0; z < n; ++z) {
+    const ExtendJob& job = jobs[z];
+    qlen[z] = job.qlen;
+    tlen[z] = job.tlen;
+    h0[z] = job.h0;
+    maxv[z] = job.h0;
+    end[z] = job.qlen;
+    ++ctr.bsw_pairs;
+
+    // Per-lane band clamp (identical to the scalar kernel).
+    int w = job.w;
+    const int max_ins = std::max(
+        1, static_cast<int>(
+               static_cast<double>(job.qlen * p.a + p.end_bonus - p.o_ins) / p.e_ins + 1.0));
+    w = std::min(w, max_ins);
+    const int max_del = std::max(
+        1, static_cast<int>(
+               static_cast<double>(job.qlen * p.a + p.end_bonus - p.o_del) / p.e_del + 1.0));
+    wband[z] = std::min(w, max_del);
+
+    // First row: h0, h0-oe_ins, then -e_ins steps while > e_ins.
+    eh_h[static_cast<std::size_t>(0) * W + static_cast<std::size_t>(z)] = static_cast<elem>(job.h0);
+    const int h01 = job.h0 > oe_ins ? job.h0 - oe_ins : 0;
+    eh_h[static_cast<std::size_t>(1) * W + static_cast<std::size_t>(z)] = static_cast<elem>(h01);
+    int prev = h01;
+    for (int j = 2; j <= job.qlen && prev > p.e_ins; ++j) {
+      prev -= p.e_ins;
+      eh_h[static_cast<std::size_t>(j) * W + static_cast<std::size_t>(z)] = static_cast<elem>(prev);
+    }
+  }
+
+  const V v_zero = V::zero();
+  const V v_bias = V::set1(bias);
+  const V v_match = V::set1(bias + p.a);
+  const V v_amb = V::set1(bias - 1);  // score -1 vs ambiguous bases
+  const V v_n = V::set1(4);
+  const V v_oe_del = V::set1(oe_del);
+  const V v_e_del = V::set1(p.e_del);
+  const V v_oe_ins = V::set1(oe_ins);
+  const V v_e_ins = V::set1(p.e_ins);
+  const V v_ones = V::cmpeq(v_zero, v_zero);
+
+  phase_end(&BswBreakdown::pre);
+
+  alignas(64) elem begv_arr[W], endv_arr[W], h1_arr[W], active_arr[W];
+  alignas(64) elem m_arr[W], mj_arr[W], h1_out[W];
+
+  // ---------------- row loop ---------------------------------------------
+  for (int i = 0; i < max_tlen; ++i) {
+    // --- band entry (Table 8 "Band adjustment I") ---
+    // Branchless per-lane updates over contiguous int arrays: the compiler
+    // vectorizes these loops, so the entry cost stays small even at W=64.
+    const int row_gap_pen = p.o_del + p.e_del * (i + 1);
+    for (int z = 0; z < W; ++z) {
+      const int b = std::max(beg[z], i - wband[z]);
+      const int e = std::min(std::min(end[z], i + wband[z] + 1), qlen[z]);
+      beg[z] = b;
+      end[z] = e;
+      // Clamp the lane-width copies: b can exceed the elem range once the
+      // band has slid past the query end (empty band; the lane dies this
+      // row).  min(b, qlen) keeps the in-band mask empty without wrapping.
+      begv_arr[z] = static_cast<elem>(std::min(b, qlen[z]));
+      endv_arr[z] = static_cast<elem>(e);
+      const int h1 = b == 0 ? std::max(h0[z] - row_gap_pen, 0) : 0;
+      h1_arr[z] = static_cast<elem>(h1);
+    }
+    int row_beg = max_qlen, row_end = 0;
+    bool any_active = false;
+    for (int z = 0; z < W; ++z) {
+      const bool act = !done[z] && i < tlen[z];
+      active_arr[z] = act ? static_cast<elem>(~elem{0}) : elem{0};
+      any_active |= act;
+      row_beg = std::min(row_beg, act ? beg[z] : max_qlen);
+      row_end = std::max(row_end, act ? end[z] : 0);
+    }
+    if (!any_active) {
+      phase_end(&BswBreakdown::band1);
+      break;
+    }
+
+    const V begv = V::load(begv_arr);
+    const V endv = V::load(endv_arr);
+    const V active = V::load(active_arr);
+    const V t_i = V::load(&t_soa[static_cast<std::size_t>(i) * W]);
+    V h1 = V::load(h1_arr);
+    V f = v_zero;
+    V m = v_zero;
+    V mj = v_zero;
+    phase_end(&BswBreakdown::band1);
+
+    // ---------------- cell loop (Table 8 "Cell computations") ------------
+    for (int j = row_beg; j < row_end; ++j) {
+      const V j_vec = V::set1(j);
+      // in-band: beg <= j < end, lane active.
+      V in = V::vandnot(V::cmpgt_u(begv, j_vec), V::cmpgt_u(endv, j_vec));
+      in = V::vand(in, active);
+
+      elem* ph = &eh_h[static_cast<std::size_t>(j) * W];
+      elem* pe = &eh_e[static_cast<std::size_t>(j) * W];
+      const V Hdiag = V::load(ph);  // H(i-1, j-1)
+      const V E = V::load(pe);      // E(i, j)
+
+      // p->h = h1 (store H(i, j-1) for the next row), masked.
+      V::blend(in, h1, Hdiag).store(ph);
+
+      // M = Hdiag ? Hdiag + s(q,t) : 0, via the bias trick.
+      const V q_j = V::load(&q_soa[static_cast<std::size_t>(j) * W]);
+      const V eq = V::cmpeq(q_j, t_i);
+      const V amb = V::vor(V::cmpeq(q_j, v_n), V::cmpeq(t_i, v_n));
+      V sbias = V::blend(eq, v_match, v_zero);       // match: a+bias, mismatch: 0 (= bias-b)
+      sbias = V::blend(amb, v_amb, sbias);           // N anywhere: bias-1
+      V M = V::subs(V::adds(Hdiag, sbias), v_bias);
+      M = V::vandnot(V::cmpeq(Hdiag, v_zero), M);
+
+      V h = V::vmax(M, E);
+      h = V::vmax(h, f);
+      h1 = V::blend(in, h, h1);
+
+      // mj = (m > h) ? mj : j ; m = max(m, h)   (in-band lanes only)
+      const V keep = V::cmpgt_u(m, h);
+      mj = V::blend(V::vandnot(keep, in), j_vec, mj);
+      m = V::blend(in, V::vmax(m, h), m);
+
+      // E(i+1, j) and F(i, j+1).
+      const V t_del = V::subs(M, v_oe_del);
+      const V e_new = V::vmax(V::subs(E, v_e_del), t_del);
+      V::blend(in, e_new, E).store(pe);
+      const V t_ins = V::subs(M, v_oe_ins);
+      f = V::blend(in, V::vmax(V::subs(f, v_e_ins), t_ins), f);
+    }
+    phase_end(&BswBreakdown::cells);
+
+    // ---------------- row epilogue (Table 8 "Band adjustment II") --------
+    {
+      // Wasted-work accounting (paper §6.2.3: "useful cells are roughly
+      // half of the total cells computed").
+      ctr.bsw_cells_total += static_cast<std::uint64_t>(row_end - row_beg) * W;
+      std::uint64_t useful = 0;
+      for (int z = 0; z < W; ++z)
+        if (active_arr[z]) useful += static_cast<std::uint64_t>(end[z] - beg[z]);
+      ctr.bsw_cells_useful += useful;
+    }
+    h1.store(h1_out);
+    m.store(m_arr);
+    mj.store(mj_arr);
+    bool any_survivor = false;
+    for (int z = 0; z < W; ++z) {
+      if (!active_arr[z]) continue;
+      // eh[end].h = h1; eh[end].e = 0;
+      eh_h[static_cast<std::size_t>(end[z]) * W + static_cast<std::size_t>(z)] = h1_out[z];
+      eh_e[static_cast<std::size_t>(end[z]) * W + static_cast<std::size_t>(z)] = 0;
+
+      const int m_z = static_cast<int>(m_arr[z]);
+      const int mj_z = end[z] > beg[z] ? static_cast<int>(mj_arr[z]) : -1;
+      if (end[z] == qlen[z]) {
+        // Ties update max_ie to the later row (scalar: gscore > h1 ? keep).
+        const int h1_z = static_cast<int>(h1_out[z]);
+        if (!(gscore[z] > h1_z)) {
+          max_ie[z] = i;
+          gscore[z] = h1_z;
+        }
+      }
+      if (m_z == 0) {
+        done[z] = true;
+        active_arr[z] = 0;
+        ++ctr.bsw_aborted_pairs;
+        continue;
+      }
+      if (m_z > maxv[z]) {
+        maxv[z] = m_z;
+        max_i[z] = i;
+        max_j[z] = mj_z;
+        max_off[z] = std::max(max_off[z], std::abs(mj_z - i));
+      } else if (p.zdrop > 0) {
+        const int di = i - max_i[z], dj = mj_z - max_j[z];
+        const bool drop =
+            di > dj ? maxv[z] - m_z - (di - dj) * p.e_del > p.zdrop
+                    : maxv[z] - m_z - (dj - di) * p.e_ins > p.zdrop;
+        if (drop) {
+          done[z] = true;
+          active_arr[z] = 0;
+          ++ctr.bsw_aborted_pairs;
+          continue;
+        }
+      }
+      any_survivor = true;
+    }
+
+    if (any_survivor) {
+      // Band shrink, vectorized one cell at a time from both row ends
+      // (paper §5.4(c)): find per lane the first/last column in
+      // [beg, end] whose H and E are both zero-free.
+      const V survivors = V::load(active_arr);
+      const V begv2 = V::load(begv_arr);  // row-entry beg values (elem)
+      // endv_arr still holds end (exclusive); the backward scan is
+      // inclusive of eh[end], so compare against end directly.
+      const V endv2 = V::load(endv_arr);
+
+      // Forward: first nonzero column -> new beg.
+      V fixed = V::vandnot(survivors, v_ones);  // ~survivors
+      V new_beg = begv2;
+      for (int j = row_beg; j <= row_end; ++j) {
+        V unfixed = V::vandnot(fixed, survivors);
+        if (!V::any(unfixed)) break;
+        const V j_vec = V::set1(j);
+        const V h = V::load(&eh_h[static_cast<std::size_t>(j) * W]);
+        const V e = V::load(&eh_e[static_cast<std::size_t>(j) * W]);
+        const V nz = V::vandnot(V::vand(V::cmpeq(h, v_zero), V::cmpeq(e, v_zero)),
+                                v_ones);
+        // in-range: beg <= j <= end (the backward/forward scans include
+        // eh[end], which the cell loop just wrote as (h1, 0))
+        V in = V::vandnot(V::cmpgt_u(begv2, j_vec),
+                          V::vandnot(V::cmpgt_u(j_vec, endv2), v_ones));
+        const V fix = V::vand(unfixed, V::vand(in, nz));
+        new_beg = V::blend(fix, j_vec, new_beg);
+        fixed = V::vor(fixed, fix);
+      }
+      // Backward: last nonzero column -> new end = that column + 2.
+      V fixed2 = V::vandnot(survivors, v_ones);
+      V new_end = endv2;
+      for (int j = row_end; j >= row_beg; --j) {
+        V unfixed = V::vandnot(fixed2, survivors);
+        if (!V::any(unfixed)) break;
+        const V j_vec = V::set1(j);
+        const V h = V::load(&eh_h[static_cast<std::size_t>(j) * W]);
+        const V e = V::load(&eh_e[static_cast<std::size_t>(j) * W]);
+        const V nz = V::vandnot(V::vand(V::cmpeq(h, v_zero), V::cmpeq(e, v_zero)),
+                                v_ones);
+        V in = V::vandnot(V::cmpgt_u(begv2, j_vec),
+                          V::vandnot(V::cmpgt_u(j_vec, endv2), v_ones));
+        const V fix = V::vand(unfixed, V::vand(in, nz));
+        new_end = V::blend(fix, j_vec, new_end);
+        fixed2 = V::vor(fixed2, fix);
+      }
+      new_beg.store(begv_arr);
+      new_end.store(endv_arr);
+      for (int z = 0; z < W; ++z) {
+        if (!active_arr[z]) continue;
+        beg[z] = static_cast<int>(begv_arr[z]);
+        const int j2 = static_cast<int>(endv_arr[z]);
+        end[z] = j2 + 2 < qlen[z] ? j2 + 2 : qlen[z];
+      }
+    }
+    if (bd) phase_end(&BswBreakdown::band2);
+  }
+
+  for (int z = 0; z < n; ++z) {
+    out[z].score = maxv[z];
+    out[z].qle = max_j[z] + 1;
+    out[z].tle = max_i[z] + 1;
+    out[z].gtle = max_ie[z] + 1;
+    out[z].gscore = gscore[z];
+    out[z].max_off = max_off[z];
+  }
+}
+
+}  // namespace mem2::bsw::detail

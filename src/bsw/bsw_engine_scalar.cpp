@@ -1,0 +1,100 @@
+// Scalar-emulated SIMD engine: plain arrays driven through the shared
+// inter-task template.  W=8 keeps batching behaviour realistic while
+// remaining portable; it also anchors the identical-output tests on hosts
+// without AVX.
+#include "bsw/bsw_engine_impl.h"
+
+namespace mem2::bsw {
+
+namespace {
+
+template <typename T, int Width>
+struct ScalarVec {
+  static constexpr int W = Width;
+  using elem = T;
+  T v[W];
+
+  static ScalarVec zero() { return set1(0); }
+  static ScalarVec set1(int x) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = static_cast<T>(x);
+    return r;
+  }
+  static ScalarVec load(const T* p) {
+    ScalarVec r;
+    std::memcpy(r.v, p, sizeof(r.v));
+    return r;
+  }
+  void store(T* p) const { std::memcpy(p, v, sizeof(v)); }
+
+  static ScalarVec adds(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) {
+      const unsigned s = static_cast<unsigned>(a.v[i]) + b.v[i];
+      r.v[i] = s > std::numeric_limits<T>::max() ? std::numeric_limits<T>::max()
+                                                 : static_cast<T>(s);
+    }
+    return r;
+  }
+  static ScalarVec subs(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] > b.v[i] ? static_cast<T>(a.v[i] - b.v[i]) : T{0};
+    return r;
+  }
+  static ScalarVec vmax(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = std::max(a.v[i], b.v[i]);
+    return r;
+  }
+  static ScalarVec cmpeq(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] == b.v[i] ? static_cast<T>(~T{0}) : T{0};
+    return r;
+  }
+  static ScalarVec cmpgt_u(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] > b.v[i] ? static_cast<T>(~T{0}) : T{0};
+    return r;
+  }
+  static ScalarVec vand(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] & b.v[i];
+    return r;
+  }
+  static ScalarVec vor(ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = a.v[i] | b.v[i];
+    return r;
+  }
+  static ScalarVec vandnot(ScalarVec m, ScalarVec a) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = static_cast<T>(~m.v[i]) & a.v[i];
+    return r;
+  }
+  static ScalarVec blend(ScalarVec m, ScalarVec a, ScalarVec b) {
+    ScalarVec r;
+    for (int i = 0; i < W; ++i) r.v[i] = m.v[i] ? a.v[i] : b.v[i];
+    return r;
+  }
+  static bool any(ScalarVec m) {
+    for (int i = 0; i < W; ++i)
+      if (m.v[i]) return true;
+    return false;
+  }
+};
+
+void run_u8(const ExtendJob* jobs, KswResult* out, int n, const KswParams& p,
+            BswBreakdown* bd) {
+  detail::bsw_extend_inter_task<ScalarVec<std::uint8_t, 8>>(jobs, out, n, p, bd);
+}
+void run_u16(const ExtendJob* jobs, KswResult* out, int n, const KswParams& p,
+             BswBreakdown* bd) {
+  detail::bsw_extend_inter_task<ScalarVec<std::uint16_t, 8>>(jobs, out, n, p, bd);
+}
+
+}  // namespace
+
+const BswEngine kEngineScalarU8 = {&run_u8, 8, "scalar-8bit"};
+const BswEngine kEngineScalarU16 = {&run_u16, 8, "scalar-16bit"};
+
+}  // namespace mem2::bsw

@@ -1,0 +1,163 @@
+// Banded global alignment with traceback (Gotoh affine gaps) — fills the
+// role of bwa's ksw_global2 in SAM formation: once a region's endpoints are
+// fixed by the extension kernel, the CIGAR comes from a global alignment of
+// the clipped query segment against the reference segment.
+#include <algorithm>
+#include <limits>
+
+#include "bsw/ksw.h"
+
+namespace mem2::bsw {
+
+namespace {
+
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 2;
+
+// Traceback codes for H, plus extension flags for E/D and F/I chains.
+enum : std::uint8_t {
+  kFromDiag = 0,
+  kFromDel = 1,  // H came from E (gap in query / deletion)
+  kFromIns = 2,  // H came from F (gap in target / insertion)
+  kHMask = 3,
+  kDelExt = 4,  // E extended (stay in deletion state)
+  kInsExt = 8,  // F extended (stay in insertion state)
+};
+
+void push_op(Cigar& cigar, char op, int len) {
+  if (len <= 0) return;
+  if (!cigar.empty() && cigar.back().op == op)
+    cigar.back().len += len;
+  else
+    cigar.push_back({op, len});
+}
+
+}  // namespace
+
+int ksw_global(const seq::Code* query, int qlen, const seq::Code* target,
+               int tlen, const KswParams& p, int w, Cigar& cigar) {
+  cigar.clear();
+  if (qlen == 0 && tlen == 0) return 0;
+  if (qlen == 0) {
+    push_op(cigar, 'D', tlen);
+    return -(p.o_del + p.e_del * tlen);
+  }
+  if (tlen == 0) {
+    push_op(cigar, 'I', qlen);
+    return -(p.o_ins + p.e_ins * qlen);
+  }
+
+  // The band must cover the length difference or no global path exists.
+  w = std::max(w, std::abs(tlen - qlen) + 1);
+  const auto mat = p.matrix();
+  const int oe_del = p.o_del + p.e_del, oe_ins = p.o_ins + p.e_ins;
+
+  const std::size_t width = static_cast<std::size_t>(qlen) + 1;
+  std::vector<std::int32_t> h(width), e(width);
+  std::vector<std::uint8_t> tb(static_cast<std::size_t>(tlen + 1) * width, 0);
+
+  // Row 0: only insertions.
+  h[0] = 0;
+  e[0] = kNegInf;
+  for (int j = 1; j <= qlen; ++j) {
+    h[static_cast<std::size_t>(j)] = j <= w ? -(p.o_ins + p.e_ins * j) : kNegInf;
+    e[static_cast<std::size_t>(j)] = kNegInf;
+    tb[static_cast<std::size_t>(j)] = kFromIns | kInsExt;
+  }
+
+  for (int i = 1; i <= tlen; ++i) {
+    const int beg = std::max(1, i - w);
+    const int end = std::min(qlen, i + w);
+    std::int32_t h_diag = h[static_cast<std::size_t>(beg - 1)];  // H(i-1, beg-1)
+    // Column beg-1 of this row.
+    std::int32_t h_left;
+    if (beg == 1) {
+      h_left = -(p.o_del + p.e_del * i);
+      tb[static_cast<std::size_t>(i) * width] = kFromDel | kDelExt;
+    } else {
+      h_left = kNegInf;
+    }
+    h[static_cast<std::size_t>(beg - 1)] = h_left;
+    std::int32_t f = kNegInf;
+
+    for (int j = beg; j <= end; ++j) {
+      std::uint8_t dir = 0;
+      // E (deletion, vertical): from H(i-1, j) or E(i-1, j).
+      const std::int32_t h_up = h[static_cast<std::size_t>(j)];
+      std::int32_t e_open = h_up - oe_del;
+      std::int32_t e_ext = e[static_cast<std::size_t>(j)] - p.e_del;
+      if (e_ext > e_open) dir |= kDelExt;
+      const std::int32_t e_cur = std::max(e_open, e_ext);
+
+      // F (insertion, horizontal): from H(i, j-1) or F(i, j-1).
+      std::int32_t f_open = h_left - oe_ins;
+      std::int32_t f_ext = f - p.e_ins;
+      if (f_ext > f_open) dir |= kInsExt;
+      const std::int32_t f_cur = std::max(f_open, f_ext);
+
+      // H: diagonal vs E vs F (prefer diagonal on ties, then deletion —
+      // matches ksw_global's choice order).
+      const std::int32_t diag =
+          h_diag + mat[static_cast<std::size_t>(target[i - 1] * 5 + query[j - 1])];
+      std::int32_t best = diag;
+      std::uint8_t from = kFromDiag;
+      if (e_cur > best) {
+        best = e_cur;
+        from = kFromDel;
+      }
+      if (f_cur > best) {
+        best = f_cur;
+        from = kFromIns;
+      }
+      dir |= from;
+      tb[static_cast<std::size_t>(i) * width + static_cast<std::size_t>(j)] = dir;
+
+      h_diag = h_up;
+      h[static_cast<std::size_t>(j)] = best;
+      e[static_cast<std::size_t>(j)] = e_cur;
+      f = f_cur;
+      h_left = best;
+    }
+    // Kill columns outside the band for the next row.
+    if (end < qlen) h[static_cast<std::size_t>(end + 1)] = kNegInf;
+    if (beg > 1) e[static_cast<std::size_t>(beg - 1)] = kNegInf;
+  }
+
+  const int score = h[static_cast<std::size_t>(qlen)];
+
+  // Traceback from (tlen, qlen): a three-state machine (H, deletion run,
+  // insertion run); extension flags decide whether a gap run continues.
+  Cigar rev;
+  int i = tlen, j = qlen;
+  int state = 0;  // 0 = H, 1 = in deletion (E), 2 = in insertion (F)
+  while (i > 0 || j > 0) {
+    const std::uint8_t dir =
+        tb[static_cast<std::size_t>(i) * width + static_cast<std::size_t>(j)];
+    if (state == 0) {
+      const std::uint8_t from = dir & kHMask;
+      if (from == kFromDiag) {
+        MEM2_REQUIRE(i > 0 && j > 0, "global traceback escaped the matrix");
+        push_op(rev, 'M', 1);
+        --i;
+        --j;
+      } else if (from == kFromDel) {
+        state = 1;  // re-read this cell in deletion state
+      } else {
+        state = 2;
+      }
+    } else if (state == 1) {
+      push_op(rev, 'D', 1);
+      state = (dir & kDelExt) != 0 ? 1 : 0;
+      --i;
+    } else {
+      push_op(rev, 'I', 1);
+      state = (dir & kInsExt) != 0 ? 2 : 0;
+      --j;
+    }
+  }
+  // Reverse and merge adjacent runs of the same op.
+  cigar.clear();
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) push_op(cigar, it->op, it->len);
+  return score;
+}
+
+}  // namespace mem2::bsw

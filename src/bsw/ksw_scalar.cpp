@@ -1,0 +1,158 @@
+// Scalar banded extension — port of BWA-MEM's ksw_extend2 (ksw.c).
+//
+// The control flow, banding and tie-breaking reproduce the original line by
+// line: any deviation would break the identical-output contract that the
+// SIMD engines are tested against.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "bsw/ksw.h"
+#include "util/sw_counters.h"
+
+namespace mem2::bsw {
+
+KswResult ksw_extend_scalar(const ExtendJob& job, const KswParams& p) {
+  MEM2_REQUIRE(job.qlen > 0 && job.tlen > 0, "ksw_extend needs non-empty sequences");
+  MEM2_REQUIRE(job.h0 > 0, "ksw_extend needs a positive initial score");
+
+  const auto mat = p.matrix();
+  const int qlen = job.qlen, tlen = job.tlen;
+  const int oe_del = p.o_del + p.e_del;
+  const int oe_ins = p.o_ins + p.e_ins;
+
+  // Query profile: qp[c][j] = score of target base c vs query[j].
+  std::vector<std::int8_t> qp(static_cast<std::size_t>(qlen) * 5);
+  for (int c = 0; c < 5; ++c)
+    for (int j = 0; j < qlen; ++j)
+      qp[static_cast<std::size_t>(c * qlen + j)] =
+          mat[static_cast<std::size_t>(c * 5 + job.query[j])];
+
+  struct Eh {
+    std::int32_t h = 0, e = 0;
+  };
+  std::vector<Eh> eh(static_cast<std::size_t>(qlen) + 1);
+
+  // First row.
+  eh[0].h = job.h0;
+  eh[1].h = job.h0 > oe_ins ? job.h0 - oe_ins : 0;
+  int j;
+  for (j = 2; j <= qlen && eh[static_cast<std::size_t>(j - 1)].h > p.e_ins; ++j)
+    eh[static_cast<std::size_t>(j)].h = eh[static_cast<std::size_t>(j - 1)].h - p.e_ins;
+
+  // Clamp the band width by the maximum possible gap lengths.
+  int w = job.w;
+  {
+    const int max_ins = std::max(
+        1, static_cast<int>(static_cast<double>(qlen * p.a + p.end_bonus - p.o_ins) /
+                                p.e_ins +
+                            1.0));
+    w = std::min(w, max_ins);
+    const int max_del = std::max(
+        1, static_cast<int>(static_cast<double>(qlen * p.a + p.end_bonus - p.o_del) /
+                                p.e_del +
+                            1.0));
+    w = std::min(w, max_del);
+  }
+
+  int max = job.h0, max_i = -1, max_j = -1, max_ie = -1, gscore = -1, max_off = 0;
+  int beg = 0, end = qlen;
+  auto& ctr = util::tls_counters();
+  ++ctr.bsw_pairs;
+
+  for (int i = 0; i < tlen; ++i) {
+    int f = 0, h1, m = 0, mj = -1;
+    const std::int8_t* q = &qp[static_cast<std::size_t>(job.target[i]) * static_cast<std::size_t>(qlen)];
+    // Apply the band.
+    if (beg < i - w) beg = i - w;
+    if (end > i + w + 1) end = i + w + 1;
+    if (end > qlen) end = qlen;
+    // First column of this row.
+    if (beg == 0) {
+      h1 = job.h0 - (p.o_del + p.e_del * (i + 1));
+      if (h1 < 0) h1 = 0;
+    } else {
+      h1 = 0;
+    }
+    for (j = beg; j < end; ++j) {
+      // Loop invariant: eh[j] = {H(i-1,j-1), E(i,j)}, f = F(i,j),
+      // h1 = H(i,j-1).
+      Eh* cell = &eh[static_cast<std::size_t>(j)];
+      int h, M = cell->h, e = cell->e;
+      cell->h = h1;
+      M = M ? M + q[j] : 0;  // separating H and M disallows M-I-D-M cigars
+      h = M > e ? M : e;
+      h = h > f ? h : f;
+      h1 = h;
+      mj = m > h ? mj : j;
+      m = m > h ? m : h;
+      int t = M - oe_del;
+      t = t > 0 ? t : 0;
+      e -= p.e_del;
+      e = e > t ? e : t;
+      cell->e = e;
+      t = M - oe_ins;
+      t = t > 0 ? t : 0;
+      f -= p.e_ins;
+      f = f > t ? f : t;
+    }
+    eh[static_cast<std::size_t>(end)].h = h1;
+    eh[static_cast<std::size_t>(end)].e = 0;
+    ctr.bsw_cells_total += static_cast<std::uint64_t>(end - beg);
+    ctr.bsw_cells_useful += static_cast<std::uint64_t>(end - beg);
+    if (j == qlen) {
+      max_ie = gscore > h1 ? max_ie : i;
+      gscore = gscore > h1 ? gscore : h1;
+    }
+    if (m == 0) {
+      ++ctr.bsw_aborted_pairs;
+      break;
+    }
+    if (m > max) {
+      max = m;
+      max_i = i;
+      max_j = mj;
+      max_off = max_off > std::abs(mj - i) ? max_off : std::abs(mj - i);
+    } else if (p.zdrop > 0) {
+      if (i - max_i > mj - max_j) {
+        if (max - m - ((i - max_i) - (mj - max_j)) * p.e_del > p.zdrop) {
+          ++ctr.bsw_aborted_pairs;
+          break;
+        }
+      } else {
+        if (max - m - ((mj - max_j) - (i - max_i)) * p.e_ins > p.zdrop) {
+          ++ctr.bsw_aborted_pairs;
+          break;
+        }
+      }
+    }
+    // Band adjustment for the next row (shrink from both ends).
+    for (j = beg; j < end && eh[static_cast<std::size_t>(j)].h == 0 && eh[static_cast<std::size_t>(j)].e == 0; ++j) {
+    }
+    beg = j;
+    for (j = end; j >= beg && eh[static_cast<std::size_t>(j)].h == 0 && eh[static_cast<std::size_t>(j)].e == 0; --j) {
+    }
+    end = j + 2 < qlen ? j + 2 : qlen;
+  }
+
+  KswResult r;
+  r.score = max;
+  r.qle = max_j + 1;
+  r.tle = max_i + 1;
+  r.gtle = max_ie + 1;
+  r.gscore = gscore;
+  r.max_off = max_off;
+  return r;
+}
+
+std::string cigar_string(const Cigar& cigar) {
+  if (cigar.empty()) return "*";
+  std::string s;
+  for (const auto& op : cigar) {
+    s += std::to_string(op.len);
+    s += op.op;
+  }
+  return s;
+}
+
+}  // namespace mem2::bsw

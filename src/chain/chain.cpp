@@ -1,0 +1,222 @@
+#include "chain/chain.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mem2::chain {
+
+int interval_rid(const seq::Reference& ref, idx_t l_pac, idx_t rbeg, idx_t len) {
+  idx_t fb = rbeg, fe = rbeg + len;
+  if (fb < l_pac && fe > l_pac) return -1;  // crosses the strand boundary
+  if (fb >= l_pac) {
+    // Map the reverse-strand interval to forward coordinates.
+    const idx_t b = 2 * l_pac - fe;
+    const idx_t e = 2 * l_pac - fb;
+    fb = b;
+    fe = e;
+  }
+  if (fb < 0 || fe > ref.length()) return -1;
+  auto [rid, off] = ref.locate(fb);
+  (void)off;
+  const auto& c = ref.contigs()[static_cast<std::size_t>(rid)];
+  return fe <= c.offset + c.length ? rid : -1;
+}
+
+std::vector<Seed> seeds_from_smems(std::span<const smem::Smem> smems,
+                                   const ChainOptions& opt, const SalFn& sal) {
+  std::vector<Seed> seeds;
+  for (const auto& m : smems) {
+    const idx_t s = m.bi.s;
+    const idx_t step = s > opt.max_occ ? s / opt.max_occ : 1;
+    idx_t count = 0;
+    for (idx_t k = 0; k < s && count < opt.max_occ; k += step, ++count) {
+      Seed seed;
+      seed.rbeg = sal(m.bi.k + k);
+      seed.qbeg = m.qb;
+      seed.len = seed.score = m.len();
+      seeds.push_back(seed);
+    }
+  }
+  return seeds;
+}
+
+double repetitive_fraction(std::span<const smem::Smem> smems, int l_query,
+                           int max_occ) {
+  // Union length of query intervals whose SA interval exceeds max_occ
+  // (smems are sorted by qb).
+  std::int64_t l_rep = 0;
+  int b = 0, e = 0;
+  for (const auto& m : smems) {
+    if (m.bi.s <= max_occ) continue;
+    if (m.qb > e) {
+      l_rep += e - b;
+      b = m.qb;
+      e = m.qe;
+    } else {
+      e = std::max(e, m.qe);
+    }
+  }
+  l_rep += e - b;
+  return l_query > 0 ? static_cast<double>(l_rep) / l_query : 0.0;
+}
+
+namespace {
+
+// bwa test_and_merge: try to append seed to chain c; returns true if the
+// seed was merged (or is contained) and false if a new chain is needed.
+bool test_and_merge(const ChainOptions& opt, idx_t l_pac, Chain& c,
+                    const Seed& p, int seed_rid) {
+  if (seed_rid != c.rid) return false;
+  const Seed& last = c.seeds.back();
+  const idx_t qend = last.qbeg + last.len;
+  const idx_t rend = last.rbeg + last.len;
+  if (p.qbeg >= c.seeds.front().qbeg && p.qbeg + p.len <= qend &&
+      p.rbeg >= c.seeds.front().rbeg && p.rbeg + p.len <= rend)
+    return true;  // contained seed; do nothing
+  if ((c.seeds.front().rbeg < l_pac || last.rbeg < l_pac) && p.rbeg >= l_pac)
+    return false;  // different strands
+  const idx_t x = p.qbeg - last.qbeg;  // non-negative (seed order)
+  const idx_t y = p.rbeg - last.rbeg;
+  if (y >= 0 && x - y <= opt.w && y - x <= opt.w &&
+      x - last.len < opt.max_chain_gap && y - last.len < opt.max_chain_gap) {
+    c.seeds.push_back(p);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Chain> build_chains(const seq::Reference& ref, idx_t l_pac,
+                                std::span<const Seed> seeds, int l_query,
+                                const ChainOptions& opt, double frac_rep) {
+  (void)l_query;
+  // bwa keeps chains in a btree keyed by chain pos; the lower bound of a
+  // seed's rbeg is the merge candidate.  std::map reproduces that exactly.
+  std::map<idx_t, Chain> tree;
+  for (const Seed& s : seeds) {
+    const int rid = interval_rid(ref, l_pac, s.rbeg, s.len);
+    if (rid < 0) continue;  // crosses a boundary: discarded (as in bwa)
+    bool added = false;
+    if (!tree.empty()) {
+      auto it = tree.upper_bound(s.rbeg);
+      if (it != tree.begin()) {
+        --it;
+        added = test_and_merge(opt, l_pac, it->second, s, rid);
+      }
+    }
+    if (!added) {
+      Chain c;
+      c.pos = s.rbeg;
+      c.rid = rid;
+      c.frac_rep = static_cast<float>(frac_rep);
+      c.seeds.push_back(s);
+      // Duplicate key: bwa's btree keeps both; nudge the key minimally.
+      idx_t key = s.rbeg;
+      while (tree.count(key)) ++key;
+      tree.emplace(key, std::move(c));
+    }
+  }
+  std::vector<Chain> chains;
+  chains.reserve(tree.size());
+  for (auto& [key, c] : tree) chains.push_back(std::move(c));
+  return chains;
+}
+
+int chain_weight(const Chain& c) {
+  std::int64_t end = 0;
+  int w_query = 0;
+  for (const Seed& s : c.seeds) {
+    if (s.qbeg >= end)
+      w_query += s.len;
+    else if (s.qbeg + s.len > end)
+      w_query += static_cast<int>(s.qbeg + s.len - end);
+    end = std::max<std::int64_t>(end, s.qbeg + s.len);
+  }
+  int w_ref = 0;
+  end = 0;
+  for (const Seed& s : c.seeds) {
+    if (s.rbeg >= end)
+      w_ref += s.len;
+    else if (s.rbeg + s.len > end)
+      w_ref += static_cast<int>(s.rbeg + s.len - end);
+    end = std::max<std::int64_t>(end, s.rbeg + s.len);
+  }
+  return std::min(w_query, w_ref);
+}
+
+namespace {
+
+int chn_beg(const Chain& c) { return c.seeds.front().qbeg; }
+int chn_end(const Chain& c) {
+  return c.seeds.back().qbeg + c.seeds.back().len;
+}
+
+}  // namespace
+
+void filter_chains(std::vector<Chain>& chains, const ChainOptions& opt) {
+  // Weight + drop underweight chains.
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    Chain& c = chains[i];
+    c.first = -1;
+    c.kept = 0;
+    c.weight = chain_weight(c);
+    if (c.weight >= opt.min_chain_weight) {
+      if (k != i) chains[k] = std::move(c);
+      ++k;
+    }
+  }
+  chains.resize(k);
+  if (chains.empty()) return;
+
+  // Sort by weight desc (stable + deterministic tiebreaks).
+  std::stable_sort(chains.begin(), chains.end(), [](const Chain& a, const Chain& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return chn_beg(a) < chn_beg(b);
+  });
+
+  chains[0].kept = 3;
+  for (std::size_t i = 1; i < chains.size(); ++i) {
+    bool large_ovlp = false;
+    std::size_t j = 0;
+    for (; j < i; ++j) {
+      if (!chains[j].kept) continue;
+      const int b_max = std::max(chn_beg(chains[j]), chn_beg(chains[i]));
+      const int e_min = std::min(chn_end(chains[j]), chn_end(chains[i]));
+      if (e_min > b_max) {  // overlap on the query
+        const int li = chn_end(chains[i]) - chn_beg(chains[i]);
+        const int lj = chn_end(chains[j]) - chn_beg(chains[j]);
+        const int min_l = std::min(li, lj);
+        if (e_min - b_max >= min_l * opt.mask_level && min_l < opt.max_chain_gap) {
+          large_ovlp = true;
+          if (chains[j].first < 0) chains[j].first = static_cast<int>(i);
+          if (chains[i].weight < chains[j].weight * opt.drop_ratio &&
+              chains[j].weight - chains[i].weight >= opt.min_seed_len * 2)
+            break;  // dropped
+        }
+      }
+    }
+    if (j == i) chains[i].kept = large_ovlp ? 2 : 3;
+  }
+  // Keep the first shadowed chain of each kept chain (mapq accuracy).
+  for (const auto& c : chains)
+    if (c.first >= 0 && chains[static_cast<std::size_t>(c.first)].kept == 0)
+      chains[static_cast<std::size_t>(c.first)].kept = 1;
+  // Cap the number of partial (kept==2) chains.
+  int n_partial = 0;
+  for (auto& c : chains) {
+    if (c.kept == 2 && ++n_partial > opt.max_chain_extend) c.kept = 0;
+  }
+  // Compact: drop kept==0.
+  k = 0;
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    if (!chains[i].kept) continue;
+    if (k != i) chains[k] = std::move(chains[i]);
+    ++k;
+  }
+  chains.resize(k);
+}
+
+}  // namespace mem2::chain

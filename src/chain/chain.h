@@ -1,0 +1,85 @@
+// Seed chaining (paper §2.3 "CHAIN") — a faithful port of BWA-MEM's
+// mem_chain / test_and_merge / mem_chain_flt heuristics.
+//
+// Seeds (SMEM occurrences located via SAL) are greedily merged into chains
+// of collinear, nearby seeds; chains are weighted by non-overlapping seed
+// coverage and filtered by overlap dominance.  The paper does not optimize
+// this stage (Table 1: ~6%), so a single implementation serves both
+// drivers — which is also what keeps their outputs identical.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "seq/pack.h"
+#include "smem/smem_search.h"
+
+namespace mem2::chain {
+
+/// One seed: an exact match of query[qbeg, qbeg+len) at reference position
+/// rbeg in the doubled (forward+reverse) coordinate space.
+struct Seed {
+  idx_t rbeg = 0;
+  std::int32_t qbeg = 0;
+  std::int32_t len = 0;
+  std::int32_t score = 0;  // = len at creation (bwa keeps both)
+
+  bool operator==(const Seed&) const = default;
+};
+
+struct Chain {
+  idx_t pos = 0;  // rbeg of the first seed (the btree key in bwa)
+  int rid = -1;   // contig id
+  int weight = 0;
+  int kept = 0;       // 0 dropped, 1 shadowed-kept, 2 partial, 3 primary
+  int first = -1;     // first shadowed chain index (mapq accounting)
+  float frac_rep = 0;
+  std::vector<Seed> seeds;
+};
+
+struct ChainOptions {
+  int w = 100;                  // band width (collinearity tolerance)
+  int max_chain_gap = 10000;    // bwa -G companion (opt->max_chain_gap)
+  int max_occ = 500;            // sample cap per SMEM interval (bwa -c)
+  float mask_level = 0.50f;     // chain overlap threshold
+  float drop_ratio = 0.50f;     // bwa -D
+  int max_chain_extend = 1 << 30;
+  int min_chain_weight = 0;     // bwa -W
+  int min_seed_len = 19;
+};
+
+/// Suffix-array lookup callback: BW row -> position in doubled coordinates.
+/// Both SAL flavours plug in here, which is how the SAL swap stays invisible
+/// to chaining.
+using SalFn = std::function<idx_t(idx_t)>;
+
+/// Locate the contig of [rbeg, rbeg+len) in doubled coordinates; -1 if the
+/// interval crosses a contig or the strand boundary (bwa bns_intv2rid).
+int interval_rid(const seq::Reference& ref, idx_t l_pac, idx_t rbeg, idx_t len);
+
+/// Materialize seeds from SMEM intervals (the SAL stage): samples at most
+/// max_occ positions per interval, in bwa's stepped order.
+std::vector<Seed> seeds_from_smems(std::span<const smem::Smem> smems,
+                                   const ChainOptions& opt, const SalFn& sal);
+
+/// Fraction of the query covered by high-occurrence SMEMs (bwa's frac_rep,
+/// used by the mapq model).
+double repetitive_fraction(std::span<const smem::Smem> smems, int l_query,
+                           int max_occ);
+
+/// Greedy chain construction over seeds in SMEM order (bwa mem_chain).
+/// Seeds whose interval crosses contig/strand boundaries are dropped.
+std::vector<Chain> build_chains(const seq::Reference& ref, idx_t l_pac,
+                                std::span<const Seed> seeds, int l_query,
+                                const ChainOptions& opt, double frac_rep);
+
+/// Chain weight: min(query coverage, reference coverage) by seeds
+/// (bwa mem_chain_weight).
+int chain_weight(const Chain& chain);
+
+/// Weight + overlap filtering (bwa mem_chain_flt); chains are reordered by
+/// decreasing weight and dropped chains removed.
+void filter_chains(std::vector<Chain>& chains, const ChainOptions& opt);
+
+}  // namespace mem2::chain

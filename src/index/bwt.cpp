@@ -1,0 +1,45 @@
+#include "index/bwt.h"
+
+namespace mem2::index {
+
+BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>& sa) {
+  const idx_t n = static_cast<idx_t>(text.size());
+  MEM2_REQUIRE(static_cast<idx_t>(sa.size()) == n + 1, "suffix array size must be N+1");
+  MEM2_REQUIRE(sa[0] == n, "sa[0] must be the sentinel suffix");
+
+  BwtData out;
+  out.seq_len = n;
+  out.bwt.reserve(static_cast<std::size_t>(n));
+
+  std::array<idx_t, 4> counts{};
+  for (seq::Code c : text) {
+    MEM2_REQUIRE(c < 4, "BWT input must be ACGT codes");
+    ++counts[c];
+  }
+  out.cum[0] = 1;  // the $ row
+  for (int c = 0; c < 4; ++c) out.cum[static_cast<std::size_t>(c) + 1] = out.cum[static_cast<std::size_t>(c)] + counts[static_cast<std::size_t>(c)];
+
+  out.primary = -1;
+  for (idx_t r = 0; r <= n; ++r) {
+    const idx_t p = sa[static_cast<std::size_t>(r)];
+    if (p == 0) {
+      out.primary = r;  // last column is $ here; skip storing
+      continue;
+    }
+    out.bwt.push_back(text[static_cast<std::size_t>(p - 1)]);
+  }
+  MEM2_REQUIRE(out.primary >= 0, "suffix array misses the primary row");
+  MEM2_REQUIRE(static_cast<idx_t>(out.bwt.size()) == n, "BWT length mismatch");
+  return out;
+}
+
+std::vector<seq::Code> with_reverse_complement(const std::vector<seq::Code>& text) {
+  std::vector<seq::Code> t;
+  t.reserve(text.size() * 2);
+  t.insert(t.end(), text.begin(), text.end());
+  for (std::size_t i = text.size(); i-- > 0;)
+    t.push_back(seq::complement(text[i]));
+  return t;
+}
+
+}  // namespace mem2::index

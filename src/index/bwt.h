@@ -1,0 +1,38 @@
+// Burrows-Wheeler transform of the bidirectional reference text.
+//
+// The indexed text is T = R · revcomp(R) (length N = 2L) plus a virtual
+// sentinel $, giving a BW matrix of N+1 rows.  Like BWA we store the BWT
+// with the sentinel REMOVED: `bwt[j]` holds the base codes of the last
+// column for all rows except `primary` (the row whose last-column character
+// is $).  Occ backends count over this N-entry array; the FM-index wrapper
+// translates BW-row coordinates (util in fm_index.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "seq/dna.h"
+#include "util/common.h"
+
+namespace mem2::index {
+
+struct BwtData {
+  idx_t seq_len = 0;   // N = length of indexed text (2L)
+  idx_t primary = 0;   // BW row whose last-column character is $
+  /// cum[c] = BW row of the first rotation starting with base c
+  ///        = 1 (the $ row) + number of base occurrences < c.
+  /// cum[4] = N + 1 (one past the last row).
+  std::array<idx_t, 5> cum{};
+  /// Sentinel-free last column, length N, codes 0..3.
+  std::vector<seq::Code> bwt;
+};
+
+/// Derive BWT data from a text and its suffix array (as produced by
+/// build_suffix_array: length N+1, sa[0] == N).
+BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>& sa);
+
+/// Build T = text · revcomp(text); the standard input to the index.
+std::vector<seq::Code> with_reverse_complement(const std::vector<seq::Code>& text);
+
+}  // namespace mem2::index

@@ -1,0 +1,3 @@
+// FlatSA is header-only; TU kept so the module has a home for future
+// packed (e.g. 40-bit) SA representations without touching the build.
+#include "index/flat_sa.h"

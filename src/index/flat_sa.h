@@ -1,0 +1,36 @@
+// Optimized suffix-array lookup (paper §4.5): keep the SA uncompressed and
+// answer SAL with a single array load — Equation (1), j = S[i].  Memory
+// cost: 8 bytes/row (the paper's 48 GB for the human genome; megabytes at
+// our scales).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/sw_counters.h"
+
+namespace mem2::index {
+
+class FlatSA {
+ public:
+  FlatSA() = default;
+
+  void build(std::vector<idx_t> sa) { sa_ = std::move(sa); }
+
+  idx_t lookup(idx_t r) const {
+    auto& ctr = util::tls_counters();
+    ++ctr.sa_lookups;
+    ++ctr.sa_memory_loads;
+    return sa_[static_cast<std::size_t>(r)];
+  }
+
+  std::size_t size() const { return sa_.size(); }
+  std::size_t memory_bytes() const { return sa_.size() * sizeof(idx_t); }
+  const std::vector<idx_t>& values() const { return sa_; }
+
+ private:
+  std::vector<idx_t> sa_;
+};
+
+}  // namespace mem2::index

@@ -1,0 +1,50 @@
+#include "index/mem2_index.h"
+
+#include "index/sais.h"
+
+namespace mem2::index {
+
+Mem2Index Mem2Index::build(seq::Reference ref, const IndexBuildOptions& opt) {
+  Mem2Index idx;
+  idx.ref_ = std::move(ref);
+  MEM2_REQUIRE(idx.ref_.length() > 0, "cannot index an empty reference");
+
+  // Text over both strands; one SA pass feeds every component.
+  std::vector<seq::Code> fwd(static_cast<std::size_t>(idx.ref_.length()));
+  idx.ref_.pac().extract(0, fwd.size(), fwd.data());
+  const std::vector<seq::Code> text = with_reverse_complement(fwd);
+  fwd.clear();
+  fwd.shrink_to_fit();
+
+  const std::vector<idx_t> sa = build_suffix_array(text);
+  const BwtData bwt = derive_bwt(text, sa);
+
+  if (opt.build_cp128) {
+    idx.fm128_.build(bwt);
+    idx.fm128_.store_raw_bwt(bwt);  // needed for baseline SAL LF-walks
+  }
+  if (opt.build_cp32) idx.fm32_.build(bwt);
+  if (opt.build_sampled_sa) idx.sampled_sa_.build(sa, opt.sampled_interval);
+  if (opt.build_flat_sa) idx.flat_sa_.build(sa);
+  return idx;
+}
+
+std::vector<seq::Code> Mem2Index::fetch(idx_t rb, idx_t re) const {
+  MEM2_REQUIRE(rb >= 0 && rb <= re && re <= seq_len(), "fetch out of range");
+  const idx_t L = l_pac();
+  std::vector<seq::Code> out;
+  out.reserve(static_cast<std::size_t>(re - rb));
+  if (re <= L) {
+    for (idx_t p = rb; p < re; ++p) out.push_back(ref_.base(p));
+  } else if (rb >= L) {
+    // Entirely on the reverse strand: position p maps to forward
+    // coordinate 2L-1-p, complemented, read in increasing p order.
+    for (idx_t p = rb; p < re; ++p)
+      out.push_back(seq::complement(ref_.base(2 * L - 1 - p)));
+  } else {
+    MEM2_REQUIRE(false, "fetch range must not cross the strand boundary");
+  }
+  return out;
+}
+
+}  // namespace mem2::index

@@ -1,0 +1,169 @@
+// Binary index serialization.  Format (.m2i):
+//   magic "M2I\1", then sections in fixed order.  Integers little-endian,
+//   sizes as uint64.  The occ tables are rebuilt from the stored BWT on
+//   load (cheap, and keeps the file format independent of bucket layout).
+#include <cstring>
+#include <fstream>
+
+#include "index/mem2_index.h"
+
+namespace mem2::index {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', '2', 'I', '\1'};
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw io_error("index file truncated");
+  return v;
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& in) {
+  const auto n = get<std::uint64_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw io_error("index file truncated (string)");
+  return s;
+}
+
+template <typename T>
+void put_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> get_vector(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = get<std::uint64_t>(in);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw io_error("index file truncated (vector)");
+  return v;
+}
+
+}  // namespace
+
+void save_index(const std::string& path, const Mem2Index& index) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw io_error("cannot open index file for writing: " + path);
+  out.write(kMagic, 4);
+
+  // Reference.
+  const auto& ref = index.ref();
+  put<std::uint64_t>(out, ref.contigs().size());
+  for (const auto& c : ref.contigs()) {
+    put_string(out, c.name);
+    put<idx_t>(out, c.offset);
+    put<idx_t>(out, c.length);
+  }
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(ref.pac().size()));
+  put_vector(out, ref.pac().raw());
+  put<std::uint64_t>(out, ref.ambiguous().size());
+  for (const auto& a : ref.ambiguous()) {
+    put<idx_t>(out, a.begin);
+    put<idx_t>(out, a.end);
+  }
+
+  // BWT (primary, seq_len, codes) — shared by both occ flavours.
+  MEM2_REQUIRE(index.has_cp128(), "save_index requires the CP128 component");
+  MEM2_REQUIRE(index.fm128().has_raw_bwt(), "save_index requires raw BWT");
+  const auto& fm = index.fm128();
+  put<idx_t>(out, fm.seq_len());
+  put<idx_t>(out, fm.primary());
+  // Recover the BWT codes through the occ table is awkward; serialize via a
+  // dedicated accessor below.
+  std::vector<seq::Code> bwt(static_cast<std::size_t>(fm.seq_len()));
+  for (idx_t j = 0; j < fm.seq_len(); ++j) {
+    const idx_t row = j + (j >= fm.primary() ? 1 : 0);
+    bwt[static_cast<std::size_t>(j)] = static_cast<seq::Code>(fm.bwt_at(row));
+  }
+  put_vector(out, bwt);
+
+  // SAL structures.
+  put<std::int32_t>(out, index.sampled_sa().interval());
+  put_vector(out, index.sampled_sa().samples());
+  put<std::uint8_t>(out, index.has_flat_sa() ? 1 : 0);
+  if (index.has_flat_sa()) put_vector(out, index.flat_sa().values());
+
+  if (!out) throw io_error("error writing index file: " + path);
+}
+
+Mem2Index load_index(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("cannot open index file: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw io_error("not a mem2 index file: " + path);
+
+  Mem2Index index;
+
+  // Reference.
+  const auto n_contigs = get<std::uint64_t>(in);
+  std::vector<seq::Contig> contigs(n_contigs);
+  for (auto& c : contigs) {
+    c.name = get_string(in);
+    c.offset = get<idx_t>(in);
+    c.length = get<idx_t>(in);
+  }
+  const auto pac_len = get<std::uint64_t>(in);
+  auto pac_raw = get_vector<std::uint8_t>(in);
+  const auto n_ambig = get<std::uint64_t>(in);
+  std::vector<seq::AmbigInterval> ambig(n_ambig);
+  for (auto& a : ambig) {
+    a.begin = get<idx_t>(in);
+    a.end = get<idx_t>(in);
+  }
+  // Rebuild the Reference from raw parts: decode the packed sequence per
+  // contig and re-add (N runs were already replaced at build time).
+  seq::PackedSequence pac;
+  pac.assign_raw(std::move(pac_raw), pac_len);
+  for (const auto& c : contigs) {
+    auto codes = pac.extract(static_cast<std::size_t>(c.offset),
+                             static_cast<std::size_t>(c.offset + c.length));
+    index.mutable_ref().add_contig_codes(c.name, codes);
+  }
+
+  // BWT + occ tables.
+  BwtData bwt;
+  bwt.seq_len = get<idx_t>(in);
+  bwt.primary = get<idx_t>(in);
+  bwt.bwt = get_vector<seq::Code>(in);
+  MEM2_REQUIRE(static_cast<idx_t>(bwt.bwt.size()) == bwt.seq_len,
+               "index file BWT length mismatch");
+  std::array<idx_t, 4> counts{};
+  for (seq::Code c : bwt.bwt) ++counts[c];
+  bwt.cum[0] = 1;
+  for (int c = 0; c < 4; ++c) bwt.cum[static_cast<std::size_t>(c) + 1] = bwt.cum[static_cast<std::size_t>(c)] + counts[static_cast<std::size_t>(c)];
+
+  index.mutable_fm128().build(bwt);
+  index.mutable_fm128().store_raw_bwt(bwt);
+  index.mutable_fm32().build(bwt);
+
+  // SAL.
+  const auto interval = get<std::int32_t>(in);
+  index.mutable_sampled_sa().set_samples(get_vector<idx_t>(in), interval);
+  const auto has_flat = get<std::uint8_t>(in);
+  if (has_flat) index.mutable_flat_sa().build(get_vector<idx_t>(in));
+
+  return index;
+}
+
+}  // namespace mem2::index

@@ -1,0 +1,67 @@
+#include "index/occ_cp128.h"
+
+#include <bit>
+
+namespace mem2::index {
+
+namespace {
+
+// Count occurrences of 2-bit value c within the low `bases` bases of a
+// packed word (bwa's __occ_aux technique).  For each base slot the XOR with
+// a replicated pattern turns matches into 00; ~(x|x>>1) & 0x5555... marks
+// them; popcount finishes the job.
+inline int count_in_word(std::uint64_t word, int c, int bases) {
+  if (bases <= 0) return 0;
+  const std::uint64_t pattern = 0x5555555555555555ULL * static_cast<std::uint64_t>(c);
+  std::uint64_t x = word ^ pattern;
+  std::uint64_t match = ~(x | (x >> 1)) & 0x5555555555555555ULL;
+  if (bases < 32) match &= (std::uint64_t{1} << (2 * bases)) - 1;
+  return std::popcount(match);
+}
+
+}  // namespace
+
+void OccCp128::build(const std::vector<seq::Code>& bwt) {
+  size_ = static_cast<idx_t>(bwt.size());
+  const std::size_t n_buckets = (bwt.size() + kBucket - 1) / kBucket + 1;
+  buckets_.assign(n_buckets, Bucket{});
+
+  std::uint64_t running[4] = {0, 0, 0, 0};
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    for (int c = 0; c < 4; ++c) buckets_[b].count[c] = running[c];
+    for (int r = 0; r < kBucket; ++r) {
+      const std::size_t pos = b * kBucket + static_cast<std::size_t>(r);
+      if (pos >= bwt.size()) break;
+      const seq::Code code = bwt[pos];
+      ++running[code];
+      buckets_[b].packed[r >> 5] |= static_cast<std::uint64_t>(code) << ((r & 31) << 1);
+    }
+  }
+}
+
+idx_t OccCp128::occ(int c, idx_t j) const {
+  const Bucket& bkt = buckets_[static_cast<std::size_t>(j >> kBucketShift)];
+  int rem = static_cast<int>(j & (kBucket - 1));
+  idx_t n = static_cast<idx_t>(bkt.count[c]);
+  for (int w = 0; w < 4 && rem > 0; ++w) {
+    n += count_in_word(bkt.packed[w], c, rem);
+    rem -= 32;
+  }
+  return n;
+}
+
+void OccCp128::occ4(idx_t j, idx_t out[4]) const {
+  const Bucket& bkt = buckets_[static_cast<std::size_t>(j >> kBucketShift)];
+  const int rem = static_cast<int>(j & (kBucket - 1));
+  for (int c = 0; c < 4; ++c) {
+    int left = rem;
+    idx_t n = static_cast<idx_t>(bkt.count[c]);
+    for (int w = 0; w < 4 && left > 0; ++w) {
+      n += count_in_word(bkt.packed[w], c, left);
+      left -= 32;
+    }
+    out[c] = n;
+  }
+}
+
+}  // namespace mem2::index

@@ -1,0 +1,93 @@
+// Optimized occurrence table — the paper's core SMEM data structure (§4.4).
+//
+// Bucket size η = 32, one *byte* per BWT base instead of 2 bits, four 32-bit
+// counts, 16 bytes of padding: exactly one 64-byte cache line per bucket,
+// cache-line aligned.  Occ(c, j) is then: one count load + one 32-byte
+// compare-to-c + mask-to-position + popcount — a handful of instructions
+// (vs. the XOR/shift cascade of CP128), vectorizable with AVX2's byte
+// compare + movemask (paper: "byte level compare using AVX2 ... 32-bit
+// popcnt on the mask").
+//
+// The AVX2 path lives in occ_cp32_avx2.cpp (built with -mavx2) and is
+// selected at runtime; the scalar path here is the portable fallback and
+// the reference for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/bwt.h"
+#include "util/cpu_features.h"
+#include "util/prefetch.h"
+
+namespace mem2::index {
+
+class OccCp32 {
+ public:
+  static constexpr int kBucketShift = 5;  // η = 32
+  static constexpr int kBucket = 1 << kBucketShift;
+
+  struct alignas(64) Bucket {
+    std::uint32_t count[4];  // occurrences of each base before this bucket
+    std::uint8_t bases[32];  // one byte per base, values 0..3
+    std::uint8_t pad[16];    // fill the cache line (paper §4.4)
+  };
+  static_assert(sizeof(Bucket) == 64, "CP32 bucket must be one cache line");
+  static_assert(alignof(Bucket) == 64, "CP32 bucket must be cache aligned");
+
+  OccCp32() = default;
+  explicit OccCp32(const std::vector<seq::Code>& bwt) { build(bwt); }
+  void build(const std::vector<seq::Code>& bwt);
+
+  /// Count of base c among the first j BWT positions.
+  idx_t occ(int c, idx_t j) const {
+    const Bucket& bkt = buckets_[static_cast<std::size_t>(j >> kBucketShift)];
+    return static_cast<idx_t>(bkt.count[c]) +
+           occ_in_bucket_(&bkt, c, static_cast<int>(j & (kBucket - 1)));
+  }
+
+  /// occ for all four bases at once.
+  void occ4(idx_t j, idx_t out[4]) const {
+    const Bucket& bkt = buckets_[static_cast<std::size_t>(j >> kBucketShift)];
+    occ4_in_bucket_(&bkt, static_cast<int>(j & (kBucket - 1)), out);
+  }
+
+  void prefetch(idx_t j) const {
+    util::prefetch_r(&buckets_[static_cast<std::size_t>(j >> kBucketShift)]);
+  }
+
+  idx_t size() const { return size_; }
+  std::size_t memory_bytes() const { return buckets_.size() * sizeof(Bucket); }
+
+  static constexpr const char* name() { return "cp32"; }
+
+  /// Select the bucket-counting kernels for the given ISA (runtime dispatch;
+  /// called automatically on build with util::dispatch_isa()).
+  void select_kernels(util::Isa isa);
+
+  // --- kernel signatures (exposed for the AVX2 TU and for tests) ---
+  using OccInBucketFn = int (*)(const Bucket*, int c, int y);
+  using Occ4InBucketFn = void (*)(const Bucket*, int y, idx_t out[4]);
+
+  static int occ_in_bucket_scalar(const Bucket* bkt, int c, int y);
+  static void occ4_in_bucket_scalar(const Bucket* bkt, int y, idx_t out[4]);
+  // Defined in occ_cp32_avx2.cpp; safe to *reference* anywhere, only
+  // *called* when AVX2 is available.
+  static int occ_in_bucket_avx2(const Bucket* bkt, int c, int y);
+  static void occ4_in_bucket_avx2(const Bucket* bkt, int y, idx_t out[4]);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  void set_buckets(std::vector<Bucket> b, idx_t n) {
+    buckets_ = std::move(b);
+    size_ = n;
+    select_kernels(util::dispatch_isa());
+  }
+
+ private:
+  std::vector<Bucket> buckets_;
+  idx_t size_ = 0;
+  OccInBucketFn occ_in_bucket_ = &occ_in_bucket_scalar;
+  Occ4InBucketFn occ4_in_bucket_ = &occ4_in_bucket_scalar;
+};
+
+}  // namespace mem2::index

@@ -1,0 +1,45 @@
+// AVX2 kernels for the CP32 occurrence table (paper §4.4): byte-level
+// compare of the 32-base bucket against the query base, movemask to a
+// 32-bit mask, mask off positions >= y, popcount.
+//
+// This TU is compiled with -mavx2 -mpopcnt; callers reach it only through
+// OccCp32's runtime-dispatched function pointers.
+#include <immintrin.h>
+
+#include "index/occ_cp32.h"
+
+namespace mem2::index {
+
+namespace {
+
+inline std::uint32_t match_mask(const OccCp32::Bucket* bkt, int c) {
+  const __m256i bases =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bkt->bases));
+  const __m256i needle = _mm256_set1_epi8(static_cast<char>(c));
+  const __m256i eq = _mm256_cmpeq_epi8(bases, needle);
+  return static_cast<std::uint32_t>(_mm256_movemask_epi8(eq));
+}
+
+inline std::uint32_t below_y(int y) {
+  // Bits [0, y); y in [0, 32].
+  return y >= 32 ? 0xffffffffu : ((std::uint32_t{1} << y) - 1);
+}
+
+}  // namespace
+
+int OccCp32::occ_in_bucket_avx2(const Bucket* bkt, int c, int y) {
+  return __builtin_popcount(match_mask(bkt, c) & below_y(y));
+}
+
+void OccCp32::occ4_in_bucket_avx2(const Bucket* bkt, int y, idx_t out[4]) {
+  const __m256i bases =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bkt->bases));
+  const std::uint32_t lim = below_y(y);
+  for (int c = 0; c < 4; ++c) {
+    const __m256i eq = _mm256_cmpeq_epi8(bases, _mm256_set1_epi8(static_cast<char>(c)));
+    const std::uint32_t m = static_cast<std::uint32_t>(_mm256_movemask_epi8(eq)) & lim;
+    out[c] = static_cast<idx_t>(bkt->count[c]) + __builtin_popcount(m);
+  }
+}
+
+}  // namespace mem2::index

@@ -1,0 +1,179 @@
+#include "index/sais.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mem2::index {
+
+namespace {
+
+// Generic SA-IS over an integer alphabet.  `s` must end with a unique
+// smallest sentinel (value 0) at s[n-1].  Writes the suffix array of s into
+// sa[0..n-1].  K is the alphabet size (max value + 1).
+void sais_core(const std::vector<std::int64_t>& s, std::vector<idx_t>& sa, std::int64_t K) {
+  const std::int64_t n = static_cast<std::int64_t>(s.size());
+  sa.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return;
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: S-type (true) or L-type (false).
+  std::vector<bool> is_s(static_cast<std::size_t>(n));
+  is_s[static_cast<std::size_t>(n - 1)] = true;
+  for (std::int64_t i = n - 2; i >= 0; --i)
+    is_s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i)] < s[static_cast<std::size_t>(i + 1)] ||
+        (s[static_cast<std::size_t>(i)] == s[static_cast<std::size_t>(i + 1)] &&
+         is_s[static_cast<std::size_t>(i + 1)]);
+
+  auto is_lms = [&](std::int64_t i) {
+    return i > 0 && is_s[static_cast<std::size_t>(i)] && !is_s[static_cast<std::size_t>(i - 1)];
+  };
+
+  // Bucket boundaries.
+  std::vector<std::int64_t> bucket(static_cast<std::size_t>(K), 0);
+  for (std::int64_t c : s) ++bucket[static_cast<std::size_t>(c)];
+
+  std::vector<std::int64_t> bkt(static_cast<std::size_t>(K));
+  auto bucket_ends = [&] {
+    std::int64_t sum = 0;
+    for (std::int64_t c = 0; c < K; ++c) {
+      sum += bucket[static_cast<std::size_t>(c)];
+      bkt[static_cast<std::size_t>(c)] = sum;  // exclusive end
+    }
+  };
+  auto bucket_starts = [&] {
+    std::int64_t sum = 0;
+    for (std::int64_t c = 0; c < K; ++c) {
+      bkt[static_cast<std::size_t>(c)] = sum;
+      sum += bucket[static_cast<std::size_t>(c)];
+    }
+  };
+
+  auto induce = [&] {
+    // Induce L-type from LMS positions already placed.
+    bucket_starts();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t j = sa[static_cast<std::size_t>(i)] - 1;
+      if (j >= 0 && !is_s[static_cast<std::size_t>(j)])
+        sa[static_cast<std::size_t>(bkt[static_cast<std::size_t>(s[static_cast<std::size_t>(j)])]++)] = j;
+    }
+    // Induce S-type.
+    bucket_ends();
+    for (std::int64_t i = n - 1; i >= 0; --i) {
+      const std::int64_t j = sa[static_cast<std::size_t>(i)] - 1;
+      if (j >= 0 && is_s[static_cast<std::size_t>(j)])
+        sa[static_cast<std::size_t>(--bkt[static_cast<std::size_t>(s[static_cast<std::size_t>(j)])])] = j;
+    }
+  };
+
+  // Step 1: place LMS suffixes at the ends of their buckets, induce.
+  bucket_ends();
+  for (std::int64_t i = n - 1; i >= 0; --i)
+    if (is_lms(i))
+      sa[static_cast<std::size_t>(--bkt[static_cast<std::size_t>(s[static_cast<std::size_t>(i)])])] = i;
+  induce();
+
+  // Step 2: name LMS substrings in SA order.
+  std::vector<std::int64_t> lms_order;
+  lms_order.reserve(static_cast<std::size_t>(n / 2 + 1));
+  for (std::int64_t i = 0; i < n; ++i)
+    if (is_lms(sa[static_cast<std::size_t>(i)])) lms_order.push_back(sa[static_cast<std::size_t>(i)]);
+
+  std::vector<std::int64_t> name_of(static_cast<std::size_t>(n), -1);
+  std::int64_t names = 0;
+  std::int64_t prev = -1;
+  for (std::int64_t p : lms_order) {
+    bool same = false;
+    if (prev >= 0) {
+      // Compare LMS substrings starting at prev and p.
+      same = true;
+      for (std::int64_t d = 0;; ++d) {
+        const std::int64_t a = prev + d, b = p + d;
+        if (a >= n || b >= n) {
+          same = false;
+          break;
+        }
+        const bool a_lms = d > 0 && is_lms(a);
+        const bool b_lms = d > 0 && is_lms(b);
+        if (s[static_cast<std::size_t>(a)] != s[static_cast<std::size_t>(b)] || a_lms != b_lms) {
+          same = false;
+          break;
+        }
+        if (a_lms && b_lms) break;  // full LMS substring matched
+      }
+    }
+    if (!same) ++names;
+    name_of[static_cast<std::size_t>(p)] = names - 1;
+    prev = p;
+  }
+
+  // Collect LMS positions in text order and their names.
+  std::vector<std::int64_t> lms_pos;
+  for (std::int64_t i = 0; i < n; ++i)
+    if (is_lms(i)) lms_pos.push_back(i);
+  const std::int64_t m = static_cast<std::int64_t>(lms_pos.size());
+
+  std::vector<std::int64_t> sorted_lms(static_cast<std::size_t>(m));
+  if (names < m) {
+    // Recurse on the reduced string.
+    std::vector<std::int64_t> reduced(static_cast<std::size_t>(m));
+    for (std::int64_t i = 0; i < m; ++i)
+      reduced[static_cast<std::size_t>(i)] = name_of[static_cast<std::size_t>(lms_pos[static_cast<std::size_t>(i)])];
+    std::vector<idx_t> sub_sa;
+    sais_core(reduced, sub_sa, names);
+    for (std::int64_t i = 0; i < m; ++i)
+      sorted_lms[static_cast<std::size_t>(i)] = lms_pos[static_cast<std::size_t>(sub_sa[static_cast<std::size_t>(i)])];
+  } else {
+    // Names unique: order LMS suffixes directly by name.
+    for (std::int64_t i = 0; i < m; ++i)
+      sorted_lms[static_cast<std::size_t>(name_of[static_cast<std::size_t>(lms_pos[static_cast<std::size_t>(i)])])] =
+          lms_pos[static_cast<std::size_t>(i)];
+  }
+
+  // Step 3: place sorted LMS suffixes, induce final SA.
+  std::fill(sa.begin(), sa.end(), -1);
+  bucket_ends();
+  for (std::int64_t i = m - 1; i >= 0; --i) {
+    const std::int64_t p = sorted_lms[static_cast<std::size_t>(i)];
+    sa[static_cast<std::size_t>(--bkt[static_cast<std::size_t>(s[static_cast<std::size_t>(p)])])] = p;
+  }
+  induce();
+}
+
+}  // namespace
+
+std::vector<idx_t> build_suffix_array(const std::vector<seq::Code>& text) {
+  // Shift codes by +1 so the appended sentinel can be 0 (unique smallest).
+  std::vector<std::int64_t> s(text.size() + 1);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    MEM2_REQUIRE(text[i] < 4, "suffix array input must be ACGT codes");
+    s[i] = static_cast<std::int64_t>(text[i]) + 1;
+  }
+  s[text.size()] = 0;
+
+  std::vector<idx_t> sa;
+  sais_core(s, sa, 5);
+  return sa;
+}
+
+std::vector<idx_t> build_suffix_array_naive(const std::vector<seq::Code>& text) {
+  const idx_t n = static_cast<idx_t>(text.size());
+  std::vector<idx_t> sa(static_cast<std::size_t>(n) + 1);
+  std::iota(sa.begin(), sa.end(), idx_t{0});
+  std::sort(sa.begin(), sa.end(), [&](idx_t a, idx_t b) {
+    // Compare suffixes text[a..]$ and text[b..]$ with $ smallest.
+    while (a < n && b < n) {
+      if (text[static_cast<std::size_t>(a)] != text[static_cast<std::size_t>(b)])
+        return text[static_cast<std::size_t>(a)] < text[static_cast<std::size_t>(b)];
+      ++a;
+      ++b;
+    }
+    return a == n && b != n;  // shorter suffix (hits $) sorts first
+  });
+  return sa;
+}
+
+}  // namespace mem2::index

@@ -1,0 +1,31 @@
+// Suffix array construction via SA-IS (Nong, Zhang, Chan 2009).
+//
+// BWA builds its BWT with a BWT-specific variant of induced sorting; we need
+// the explicit suffix array anyway (the optimized SAL keeps it uncompressed,
+// paper §4.5), so we build SA once with SA-IS — linear time, linear extra
+// space — and derive BWT, sampled SA and flat SA from it.
+//
+// Convention: the input is a code sequence over {0..3} (ACGT); a virtual
+// sentinel smaller than every code terminates the string.  The returned
+// suffix array has length n+1 with sa[0] == n (the sentinel suffix), matching
+// the BW-matrix of R'$ with 2L+1 rows used throughout the index module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/dna.h"
+#include "util/common.h"
+
+namespace mem2::index {
+
+/// Build the suffix array of `text` (codes 0..3) + virtual sentinel.
+/// Result size is text.size() + 1, result[0] == text.size().
+std::vector<idx_t> build_suffix_array(const std::vector<seq::Code>& text);
+
+/// Reference implementation used by property tests: O(n^2 log n) comparison
+/// sort of suffixes with sentinel semantics.  Exposed so tests and the
+/// documentation example can cross-check SA-IS.
+std::vector<idx_t> build_suffix_array_naive(const std::vector<seq::Code>& text);
+
+}  // namespace mem2::index

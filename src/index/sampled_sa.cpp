@@ -1,0 +1,10 @@
+// SampledSAT is header-only (template); this TU pins the common explicit
+// instantiations so every user doesn't re-instantiate them.
+#include "index/sampled_sa.h"
+
+namespace mem2::index {
+
+template class SampledSAT<FmIndexCp128>;
+template class SampledSAT<FmIndexCp32>;
+
+}  // namespace mem2::index

@@ -1,0 +1,70 @@
+// Baseline suffix-array lookup (paper §2.5.2, §4.5 "Original").
+//
+// BWA stores SA values only for rows divisible by the sampling interval d;
+// SAL for any other row walks the LF mapping until it hits a sampled row and
+// adds the step count.  Each step costs an Occ computation plus a BWT load —
+// the ~5000 instructions per lookup the paper measures.  The optimized SAL
+// (FlatSA) is in flat_sa.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/fm_index.h"
+#include "util/sw_counters.h"
+
+namespace mem2::index {
+
+template <class Fm>
+class SampledSAT {
+ public:
+  SampledSAT() = default;
+
+  /// @param sa full suffix array (length N+1, sa[0] == N)
+  /// @param interval sampling interval d (power of two)
+  void build(const std::vector<idx_t>& sa, int interval) {
+    MEM2_REQUIRE(interval > 0 && (interval & (interval - 1)) == 0,
+                 "SA sampling interval must be a power of two");
+    interval_ = interval;
+    samples_.clear();
+    samples_.reserve(sa.size() / static_cast<std::size_t>(interval) + 1);
+    for (std::size_t r = 0; r < sa.size(); r += static_cast<std::size_t>(interval))
+      samples_.push_back(sa[r]);
+  }
+
+  /// SA[r]: walk LF until a sampled row.  The FM-index must have its raw
+  /// BWT stored (Fm::store_raw_bwt) for lf_step.
+  idx_t lookup(const Fm& fm, idx_t r) const {
+    auto& ctr = util::tls_counters();
+    ++ctr.sa_lookups;
+    const idx_t mask = interval_ - 1;
+    idx_t steps = 0;
+    while (r & mask) {
+      r = fm.lf_step(r);
+      ++steps;
+      ++ctr.sa_lf_steps;
+      ctr.sa_memory_loads += 2;  // occ bucket + bwt byte
+    }
+    const idx_t n_rows = fm.seq_len() + 1;
+    ++ctr.sa_memory_loads;  // the sample itself
+    return (samples_[static_cast<std::size_t>(r / interval_)] + steps) % n_rows;
+  }
+
+  int interval() const { return interval_; }
+  std::size_t memory_bytes() const { return samples_.size() * sizeof(idx_t); }
+
+  const std::vector<idx_t>& samples() const { return samples_; }
+  void set_samples(std::vector<idx_t> s, int interval) {
+    samples_ = std::move(s);
+    interval_ = interval;
+  }
+
+ private:
+  std::vector<idx_t> samples_;
+  int interval_ = 32;
+};
+
+using SampledSA128 = SampledSAT<FmIndexCp128>;
+using SampledSA32 = SampledSAT<FmIndexCp32>;
+
+}  // namespace mem2::index

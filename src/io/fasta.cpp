@@ -1,0 +1,94 @@
+#include "io/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace mem2::io {
+
+namespace {
+
+void split_header(const std::string& line, std::string& name, std::string& comment) {
+  // line starts with '>' or '@'; name runs to the first whitespace.
+  std::size_t i = 1;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  name = line.substr(1, i - 1);
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  comment = line.substr(i);
+}
+
+}  // namespace
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord rec;
+      split_header(line, rec.name, rec.comment);
+      if (rec.name.empty()) throw io_error("FASTA: empty record name");
+      records.push_back(std::move(rec));
+    } else {
+      if (records.empty()) throw io_error("FASTA: sequence data before first header");
+      records.back().sequence += line;
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records, int width) {
+  MEM2_REQUIRE(width > 0, "FASTA line width must be positive");
+  for (const auto& rec : records) {
+    out << '>' << rec.name;
+    if (!rec.comment.empty()) out << ' ' << rec.comment;
+    out << '\n';
+    for (std::size_t i = 0; i < rec.sequence.size(); i += static_cast<std::size_t>(width)) {
+      out << std::string_view(rec.sequence).substr(i, static_cast<std::size_t>(width)) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const std::vector<FastaRecord>& records, int width) {
+  std::ofstream out(path);
+  if (!out) throw io_error("cannot open FASTA file for writing: " + path);
+  write_fasta(out, records, width);
+}
+
+seq::Reference reference_from_records(const std::vector<FastaRecord>& records) {
+  if (records.empty()) throw io_error("FASTA: no records");
+  seq::Reference ref;
+  for (const auto& rec : records) {
+    if (rec.sequence.empty()) throw io_error("FASTA: empty sequence for " + rec.name);
+    ref.add_contig(rec.name, rec.sequence);
+  }
+  return ref;
+}
+
+seq::Reference load_reference(const std::string& path) {
+  return reference_from_records(read_fasta_file(path));
+}
+
+void save_reference(const std::string& path, const seq::Reference& ref, int width) {
+  std::vector<FastaRecord> records;
+  for (const auto& c : ref.contigs()) {
+    FastaRecord rec;
+    rec.name = c.name;
+    auto codes = ref.slice(c.offset, c.offset + c.length);
+    rec.sequence = seq::decode(codes);
+    records.push_back(std::move(rec));
+  }
+  write_fasta_file(path, records, width);
+}
+
+}  // namespace mem2::io

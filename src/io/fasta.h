@@ -1,0 +1,35 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/pack.h"
+
+namespace mem2::io {
+
+struct FastaRecord {
+  std::string name;     // text up to the first whitespace after '>'
+  std::string comment;  // remainder of the header line (may be empty)
+  std::string sequence;
+};
+
+/// Parse all records from a stream.  Throws io_error on malformed input
+/// (data before the first header, empty names).
+std::vector<FastaRecord> read_fasta(std::istream& in);
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Write records, wrapping sequence lines at `width` columns.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records, int width = 70);
+void write_fasta_file(const std::string& path, const std::vector<FastaRecord>& records, int width = 70);
+
+/// Load a FASTA file straight into a Reference (one contig per record).
+seq::Reference load_reference(const std::string& path);
+seq::Reference reference_from_records(const std::vector<FastaRecord>& records);
+
+/// Dump a Reference to FASTA (decoded from the packed representation; note
+/// ambiguous bases were already replaced at build time, as in BWA's .pac).
+void save_reference(const std::string& path, const seq::Reference& ref, int width = 70);
+
+}  // namespace mem2::io

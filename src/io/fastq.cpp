@@ -1,0 +1,64 @@
+#include "io/fastq.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/common.h"
+
+namespace mem2::io {
+
+namespace {
+
+bool get_trimmed(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+}  // namespace
+
+std::vector<seq::Read> read_fastq(std::istream& in) {
+  std::vector<seq::Read> reads;
+  std::string header, bases, plus, qual;
+  while (get_trimmed(in, header)) {
+    if (header.empty()) continue;
+    if (header[0] != '@') throw io_error("FASTQ: expected '@' header, got: " + header);
+    if (!get_trimmed(in, bases)) throw io_error("FASTQ: truncated record (no sequence)");
+    if (!get_trimmed(in, plus)) throw io_error("FASTQ: truncated record (no '+')");
+    if (plus.empty() || plus[0] != '+') throw io_error("FASTQ: expected '+' line");
+    if (!get_trimmed(in, qual)) throw io_error("FASTQ: truncated record (no quality)");
+    if (qual.size() != bases.size())
+      throw io_error("FASTQ: quality length != sequence length for " + header);
+
+    seq::Read r;
+    std::size_t name_end = 1;
+    while (name_end < header.size() && !std::isspace(static_cast<unsigned char>(header[name_end])))
+      ++name_end;
+    r.name = header.substr(1, name_end - 1);
+    if (r.name.empty()) throw io_error("FASTQ: empty read name");
+    r.bases = bases;
+    r.qual = qual;
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+std::vector<seq::Read> read_fastq_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open FASTQ file: " + path);
+  return read_fastq(in);
+}
+
+void write_fastq(std::ostream& out, const std::vector<seq::Read>& reads) {
+  for (const auto& r : reads)
+    out << '@' << r.name << '\n' << r.bases << "\n+\n" << r.qual << '\n';
+}
+
+void write_fastq_file(const std::string& path, const std::vector<seq::Read>& reads) {
+  std::ofstream out(path);
+  if (!out) throw io_error("cannot open FASTQ file for writing: " + path);
+  write_fastq(out, reads);
+}
+
+}  // namespace mem2::io

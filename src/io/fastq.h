@@ -1,0 +1,20 @@
+// FASTQ reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/read_sim.h"
+
+namespace mem2::io {
+
+/// Parse all reads.  Throws io_error on structural errors (missing '+',
+/// quality/sequence length mismatch, truncated record).
+std::vector<seq::Read> read_fastq(std::istream& in);
+std::vector<seq::Read> read_fastq_file(const std::string& path);
+
+void write_fastq(std::ostream& out, const std::vector<seq::Read>& reads);
+void write_fastq_file(const std::string& path, const std::vector<seq::Read>& reads);
+
+}  // namespace mem2::io

@@ -1,0 +1,32 @@
+#include "io/sam.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace mem2::io {
+
+std::string SamRecord::to_line() const {
+  std::ostringstream os;
+  os << qname << '\t' << flag << '\t' << rname << '\t' << pos << '\t' << mapq
+     << '\t' << cigar << '\t' << rnext << '\t' << pnext << '\t' << tlen << '\t'
+     << seq << '\t' << qual;
+  for (const auto& t : tags) os << '\t' << t;
+  return os.str();
+}
+
+std::string sam_header(const seq::Reference& ref, const std::string& pg_line) {
+  std::ostringstream os;
+  os << "@HD\tVN:1.6\tSO:unsorted\n";
+  for (const auto& c : ref.contigs())
+    os << "@SQ\tSN:" << c.name << "\tLN:" << c.length << '\n';
+  if (!pg_line.empty()) os << pg_line << '\n';
+  return os.str();
+}
+
+void write_sam(std::ostream& out, const std::string& header,
+               const std::vector<SamRecord>& records) {
+  out << header;
+  for (const auto& r : records) out << r.to_line() << '\n';
+}
+
+}  // namespace mem2::io

@@ -1,0 +1,48 @@
+// SAM output (SAM-FORM stage of the pipeline).
+//
+// Minimal but spec-conformant subset: @HD/@SQ/@PG headers and the eleven
+// mandatory columns plus NM/AS/XS tags, which is what BWA-MEM emits for
+// single-end alignment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/pack.h"
+
+namespace mem2::io {
+
+/// SAM FLAG bits (subset used for single-end alignment).
+enum SamFlag : int {
+  kFlagUnmapped = 0x4,
+  kFlagReverse = 0x10,
+  kFlagSecondary = 0x100,
+  kFlagSupplementary = 0x800,
+};
+
+struct SamRecord {
+  std::string qname;
+  int flag = kFlagUnmapped;
+  std::string rname = "*";
+  std::int64_t pos = 0;  // 1-based; 0 when unmapped
+  int mapq = 0;
+  std::string cigar = "*";
+  std::string rnext = "*";
+  std::int64_t pnext = 0;
+  std::int64_t tlen = 0;
+  std::string seq = "*";
+  std::string qual = "*";
+  std::vector<std::string> tags;
+
+  std::string to_line() const;
+};
+
+/// Build the header for a reference.  `pg_line` customizes the @PG entry.
+std::string sam_header(const seq::Reference& ref, const std::string& pg_line);
+
+void write_sam(std::ostream& out, const std::string& header,
+               const std::vector<SamRecord>& records);
+
+}  // namespace mem2::io

@@ -1,0 +1,66 @@
+#include "seq/dna.h"
+
+namespace mem2::seq {
+
+namespace {
+
+constexpr std::array<Code, 256> make_char_table() {
+  std::array<Code, 256> t{};
+  for (auto& v : t) v = kAmbig;
+  t['A'] = t['a'] = kA;
+  t['C'] = t['c'] = kC;
+  t['G'] = t['g'] = kG;
+  t['T'] = t['t'] = kT;
+  return t;
+}
+
+}  // namespace
+
+const std::array<Code, 256> kCharToCode = make_char_table();
+
+std::vector<Code> encode(std::string_view ascii) {
+  std::vector<Code> out(ascii.size());
+  for (std::size_t i = 0; i < ascii.size(); ++i) out[i] = char_to_code(ascii[i]);
+  return out;
+}
+
+std::string decode(const Code* codes, std::size_t n) {
+  std::string out(n, 'N');
+  for (std::size_t i = 0; i < n; ++i) out[i] = code_to_char(codes[i]);
+  return out;
+}
+
+std::string decode(const std::vector<Code>& codes) {
+  return decode(codes.data(), codes.size());
+}
+
+std::vector<Code> reverse_complement(const std::vector<Code>& codes) {
+  std::vector<Code> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    out[codes.size() - 1 - i] = complement(codes[i]);
+  return out;
+}
+
+void reverse_complement_inplace(std::vector<Code>& codes) {
+  std::size_t i = 0, j = codes.size();
+  while (i < j) {
+    --j;
+    if (i == j) {
+      codes[i] = complement(codes[i]);
+      break;
+    }
+    Code a = complement(codes[i]), b = complement(codes[j]);
+    codes[i] = b;
+    codes[j] = a;
+    ++i;
+  }
+}
+
+std::string reverse_complement_ascii(std::string_view ascii) {
+  std::string out(ascii.size(), 'N');
+  for (std::size_t i = 0; i < ascii.size(); ++i)
+    out[ascii.size() - 1 - i] = code_to_char(complement(char_to_code(ascii[i])));
+  return out;
+}
+
+}  // namespace mem2::seq

@@ -1,0 +1,54 @@
+// DNA alphabet handling.
+//
+// Bases are encoded as 0,1,2,3 = A,C,G,T (the paper's 2-bit representation);
+// 4 marks an ambiguous base (N).  Complements pair A<->T and C<->G, i.e.
+// comp(c) = 3 - c for c < 4, which the bidirectional FM-index update relies
+// on (Algorithm 3 extends forward by searching the complement backward).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mem2::seq {
+
+using Code = std::uint8_t;
+
+inline constexpr Code kA = 0;
+inline constexpr Code kC = 1;
+inline constexpr Code kG = 2;
+inline constexpr Code kT = 3;
+inline constexpr Code kAmbig = 4;
+
+/// ASCII -> code table; any character outside acgtACGT maps to kAmbig.
+extern const std::array<Code, 256> kCharToCode;
+
+/// code -> ASCII (upper case); kAmbig -> 'N'.
+inline constexpr char kCodeToChar[5] = {'A', 'C', 'G', 'T', 'N'};
+
+inline Code char_to_code(char c) {
+  return kCharToCode[static_cast<unsigned char>(c)];
+}
+
+inline char code_to_char(Code c) { return kCodeToChar[c > 4 ? 4 : c]; }
+
+/// Complement of a code; ambiguous stays ambiguous.
+inline Code complement(Code c) { return c < 4 ? static_cast<Code>(3 - c) : kAmbig; }
+
+/// Encode an ASCII sequence into codes.
+std::vector<Code> encode(std::string_view ascii);
+
+/// Decode codes into ASCII.
+std::string decode(const std::vector<Code>& codes);
+std::string decode(const Code* codes, std::size_t n);
+
+/// Reverse complement, in code space.
+std::vector<Code> reverse_complement(const std::vector<Code>& codes);
+void reverse_complement_inplace(std::vector<Code>& codes);
+
+/// Reverse complement of an ASCII sequence.
+std::string reverse_complement_ascii(std::string_view ascii);
+
+}  // namespace mem2::seq

@@ -1,0 +1,115 @@
+#include "seq/genome_sim.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace mem2::seq {
+
+namespace {
+
+Code random_base(util::Xoshiro256ss& rng, double gc) {
+  const double u = rng.uniform();
+  if (u < gc / 2) return kG;
+  if (u < gc) return kC;
+  if (u < gc + (1.0 - gc) / 2) return kA;
+  return kT;
+}
+
+std::vector<Code> random_sequence(util::Xoshiro256ss& rng, std::int64_t n, double gc) {
+  std::vector<Code> s(static_cast<std::size_t>(n));
+  for (auto& c : s) c = random_base(rng, gc);
+  return s;
+}
+
+void mutate(util::Xoshiro256ss& rng, std::vector<Code>& s, double rate) {
+  for (auto& c : s) {
+    if (rng.chance(rate)) {
+      // substitute with a *different* base to guarantee divergence
+      c = static_cast<Code>((c + 1 + rng.below(3)) & 3);
+    }
+  }
+}
+
+}  // namespace
+
+Reference simulate_genome(const GenomeConfig& cfg) {
+  MEM2_REQUIRE(!cfg.contig_lengths.empty(), "genome needs at least one contig");
+  MEM2_REQUIRE(cfg.gc_content > 0.0 && cfg.gc_content < 1.0, "gc_content in (0,1)");
+
+  util::Xoshiro256ss rng(cfg.seed);
+
+  // Build the repeat element library once; copies across contigs come from
+  // the same library so repeats are genome-wide (like real ALUs).
+  std::vector<std::vector<Code>> library;
+  for (int f = 0; f < cfg.repeat_families; ++f)
+    library.push_back(random_sequence(rng, cfg.repeat_element_len, cfg.gc_content));
+
+  Reference ref;
+  int contig_id = 0;
+  for (std::int64_t len : cfg.contig_lengths) {
+    MEM2_REQUIRE(len > 0, "contig length must be positive");
+    std::vector<Code> contig = random_sequence(rng, len, cfg.gc_content);
+
+    // Interspersed repeats: paste diverged copies of library elements.
+    if (!library.empty() && cfg.repeat_fraction > 0) {
+      std::int64_t budget = static_cast<std::int64_t>(static_cast<double>(len) * cfg.repeat_fraction);
+      while (budget > 0) {
+        const auto& elem = library[rng.below(library.size())];
+        if (static_cast<std::int64_t>(elem.size()) > len) break;
+        std::vector<Code> copy = elem;
+        mutate(rng, copy, cfg.repeat_divergence);
+        if (rng.chance(0.5)) reverse_complement_inplace(copy);
+        const std::size_t pos = rng.below(static_cast<std::uint64_t>(len - static_cast<std::int64_t>(copy.size())));
+        std::copy(copy.begin(), copy.end(), contig.begin() + static_cast<std::ptrdiff_t>(pos));
+        budget -= static_cast<std::int64_t>(copy.size());
+      }
+    }
+
+    // Tandem repeats: short-period expansions.
+    if (cfg.tandem_fraction > 0) {
+      std::int64_t budget = static_cast<std::int64_t>(static_cast<double>(len) * cfg.tandem_fraction);
+      while (budget > 0) {
+        const int period = cfg.tandem_period_min +
+                           static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                               cfg.tandem_period_max - cfg.tandem_period_min + 1)));
+        const int copies = 10 + static_cast<int>(rng.below(40));
+        const std::int64_t span = static_cast<std::int64_t>(period) * copies;
+        if (span >= len) break;
+        std::vector<Code> unit = random_sequence(rng, period, cfg.gc_content);
+        const std::size_t pos = rng.below(static_cast<std::uint64_t>(len - span));
+        for (int r = 0; r < copies; ++r)
+          std::copy(unit.begin(), unit.end(),
+                    contig.begin() + static_cast<std::ptrdiff_t>(pos) + static_cast<std::ptrdiff_t>(r) * period);
+        budget -= span;
+      }
+    }
+
+    // Ambiguous runs.
+    if (cfg.ambiguous_fraction > 0) {
+      std::int64_t budget = static_cast<std::int64_t>(static_cast<double>(len) * cfg.ambiguous_fraction);
+      while (budget > 0) {
+        const std::int64_t run = 1 + static_cast<std::int64_t>(rng.below(50));
+        if (run >= len) break;
+        const std::size_t pos = rng.below(static_cast<std::uint64_t>(len - run));
+        std::fill_n(contig.begin() + static_cast<std::ptrdiff_t>(pos), run, kAmbig);
+        budget -= run;
+      }
+    }
+
+    ref.add_contig_codes("chr" + std::to_string(++contig_id), contig);
+  }
+  return ref;
+}
+
+Reference random_genome(std::int64_t length, std::uint64_t seed) {
+  GenomeConfig cfg;
+  cfg.seed = seed;
+  cfg.contig_lengths = {length};
+  cfg.repeat_fraction = 0.0;
+  cfg.tandem_fraction = 0.0;
+  return simulate_genome(cfg);
+}
+
+}  // namespace mem2::seq

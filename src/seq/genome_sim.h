@@ -1,0 +1,53 @@
+// Synthetic genome generator — the substitution for Hg38 (DESIGN.md §2).
+//
+// The paper indexes the first half of the human genome (~1.5 Gbp).  We have
+// neither the file nor the RAM budget, so we synthesize references whose
+// *structural* properties drive the same code paths:
+//   - configurable GC bias (affects base composition of FM-index buckets),
+//   - interspersed repeat families (ALU-like ~300 bp elements copied with
+//     divergence -> large SA intervals, multi-hit seeds, chain filtering),
+//   - tandem repeats (short-period microsatellites -> band adjustment and
+//     z-drop paths in BSW),
+//   - multiple contigs (coordinate translation, boundary rejection).
+// Everything is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/dna.h"
+#include "seq/pack.h"
+
+namespace mem2::seq {
+
+struct GenomeConfig {
+  std::uint64_t seed = 42;
+  /// Number of contigs and length of each.
+  std::vector<std::int64_t> contig_lengths = {1 << 20};
+  /// Probability of G or C (split evenly); human-like default.
+  double gc_content = 0.41;
+  /// Number of distinct repeat families seeded into the genome.
+  int repeat_families = 4;
+  /// Length of each repeat element (ALUs are ~300 bp).
+  int repeat_element_len = 300;
+  /// Fraction of the genome covered by interspersed repeat copies.
+  double repeat_fraction = 0.15;
+  /// Per-base divergence applied to each repeat copy.
+  double repeat_divergence = 0.05;
+  /// Fraction of the genome covered by tandem repeats.
+  double tandem_fraction = 0.02;
+  /// Tandem repeat period range [min, max].
+  int tandem_period_min = 2;
+  int tandem_period_max = 6;
+  /// Fraction of bases turned into N runs (exercises ambiguity handling).
+  double ambiguous_fraction = 0.0;
+};
+
+/// Generate a reference according to the configuration.
+Reference simulate_genome(const GenomeConfig& config);
+
+/// Convenience: single-contig uniform-random genome (tests).
+Reference random_genome(std::int64_t length, std::uint64_t seed = 42);
+
+}  // namespace mem2::seq

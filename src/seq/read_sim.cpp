@@ -1,0 +1,112 @@
+#include "seq/read_sim.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace mem2::seq {
+
+std::vector<Read> simulate_reads(const Reference& ref, const ReadSimConfig& cfg) {
+  MEM2_REQUIRE(cfg.read_length > 0, "read length must be positive");
+  MEM2_REQUIRE(ref.length() >= cfg.read_length, "reference shorter than read length");
+
+  util::Xoshiro256ss rng(cfg.seed);
+  std::vector<Read> reads;
+  reads.reserve(static_cast<std::size_t>(cfg.num_reads));
+
+  // Over-sample the template so deletions can still fill read_length bases.
+  const std::int64_t template_len = cfg.read_length + 16;
+
+  for (std::int64_t n = 0; n < cfg.num_reads; ++n) {
+    // Pick a contig weighted by length, then a start that fits the template.
+    idx_t start = 0;
+    int contig_idx = 0;
+    for (int tries = 0;; ++tries) {
+      MEM2_REQUIRE(tries < 1024, "cannot place read: contigs too short");
+      const idx_t pos = static_cast<idx_t>(rng.below(static_cast<std::uint64_t>(ref.length())));
+      auto [ci, off] = ref.locate(pos);
+      const Contig& c = ref.contigs()[static_cast<std::size_t>(ci)];
+      if (off + template_len <= c.length) {
+        contig_idx = ci;
+        start = pos;
+        break;
+      }
+    }
+
+    std::vector<Code> tpl = ref.slice(start, start + template_len);
+    const bool reverse = rng.chance(0.5);
+    if (reverse) reverse_complement_inplace(tpl);
+
+    Read r;
+    r.bases.reserve(static_cast<std::size_t>(cfg.read_length));
+    r.qual.reserve(static_cast<std::size_t>(cfg.read_length));
+
+    std::size_t t = 0;
+    while (static_cast<int>(r.bases.size()) < cfg.read_length && t < tpl.size()) {
+      if (rng.chance(cfg.deletion_rate)) {
+        ++t;  // skip a template base
+        continue;
+      }
+      if (rng.chance(cfg.insertion_rate)) {
+        r.bases.push_back(code_to_char(static_cast<Code>(rng.below(4))));
+        r.qual.push_back(cfg.qual_low);
+        continue;
+      }
+      Code c = tpl[t++];
+      if (rng.chance(cfg.substitution_rate)) {
+        c = static_cast<Code>((c + 1 + rng.below(3)) & 3);
+        r.bases.push_back(code_to_char(c));
+        r.qual.push_back(cfg.qual_low);
+      } else {
+        r.bases.push_back(code_to_char(c));
+        r.qual.push_back(cfg.qual_high);
+      }
+    }
+    // Pad in the (rare) case deletions exhausted the template.
+    while (static_cast<int>(r.bases.size()) < cfg.read_length) {
+      r.bases.push_back(code_to_char(static_cast<Code>(rng.below(4))));
+      r.qual.push_back(cfg.qual_low);
+    }
+
+    const Contig& c = ref.contigs()[static_cast<std::size_t>(contig_idx)];
+    r.name = cfg.name_prefix + "_" + std::to_string(n) + ":" + c.name + ":" +
+             std::to_string(start - c.offset) + ":" + (reverse ? "-" : "+");
+    reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+ReadTruth parse_truth(const std::string& name) {
+  ReadTruth t;
+  // <prefix>_<n>:<contig>:<pos>:<strand>
+  const auto c1 = name.find(':');
+  if (c1 == std::string::npos) return t;
+  const auto c2 = name.find(':', c1 + 1);
+  if (c2 == std::string::npos) return t;
+  const auto c3 = name.find(':', c2 + 1);
+  if (c3 == std::string::npos || c3 + 1 >= name.size()) return t;
+  t.contig = name.substr(c1 + 1, c2 - c1 - 1);
+  try {
+    t.pos = std::stoll(name.substr(c2 + 1, c3 - c2 - 1));
+  } catch (...) {
+    return t;
+  }
+  t.reverse = name[c3 + 1] == '-';
+  t.valid = true;
+  return t;
+}
+
+std::vector<DatasetSpec> paper_datasets(double scale) {
+  // Paper Table 3: D1/D2 = 5e5 x 151bp, D3 = 1.25e6 x 76bp,
+  // D4/D5 = 1.25e6 x 101bp.  Scaled by 1/100 * scale.
+  auto n = [scale](double paper_count) {
+    return std::max<std::int64_t>(1000, static_cast<std::int64_t>(paper_count / 100.0 * scale));
+  };
+  return {
+      {"D1", 151, n(5e5)},  {"D2", 151, n(5e5)},  {"D3", 76, n(1.25e6)},
+      {"D4", 101, n(1.25e6)}, {"D5", 101, n(1.25e6)},
+  };
+}
+
+}  // namespace mem2::seq

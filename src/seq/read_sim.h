@@ -1,0 +1,58 @@
+// Short-read simulator — the substitution for the Broad/SRA datasets.
+//
+// wgsim-style: sample a position and strand uniformly from the reference,
+// copy the bases, inject substitution and indel errors, emit Phred-style
+// qualities.  The true origin is encoded in the read name
+// (<dataset>_<n>:<contig>:<pos>:<strand>) so examples can compute mapping
+// accuracy.  Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/pack.h"
+
+namespace mem2::seq {
+
+struct Read {
+  std::string name;
+  std::string bases;  // ASCII ACGTN
+  std::string qual;   // Phred+33
+};
+
+struct ReadSimConfig {
+  std::uint64_t seed = 7;
+  int read_length = 151;
+  std::int64_t num_reads = 10000;
+  double substitution_rate = 0.008;  // ~Illumina
+  double insertion_rate = 0.0002;
+  double deletion_rate = 0.0002;
+  /// Base quality written for correct bases / error bases.
+  char qual_high = 'I';  // Q40
+  char qual_low = '#';   // Q2
+  std::string name_prefix = "r";
+};
+
+std::vector<Read> simulate_reads(const Reference& ref, const ReadSimConfig& config);
+
+/// Parse the truth encoded in a simulated read name.
+struct ReadTruth {
+  std::string contig;
+  std::int64_t pos = -1;  // 0-based within contig
+  bool reverse = false;
+  bool valid = false;
+};
+ReadTruth parse_truth(const std::string& read_name);
+
+/// The paper's five datasets (Table 3), scaled: same read lengths, read
+/// counts scaled by `scale` (1.0 -> 1/100 of the paper's counts, which keeps
+/// single-thread bench runs in seconds on this container).
+struct DatasetSpec {
+  std::string name;
+  int read_length;
+  std::int64_t num_reads;
+};
+std::vector<DatasetSpec> paper_datasets(double scale = 1.0);
+
+}  // namespace mem2::seq

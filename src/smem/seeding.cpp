@@ -1,0 +1,71 @@
+#include "smem/seeding_impl.h"
+
+namespace mem2::smem {
+
+template void collect_smems<index::FmIndexCp128>(
+    const index::FmIndexCp128&, std::span<const seq::Code>,
+    const SeedingOptions&, std::vector<Smem>&, SmemWorkspace&,
+    const util::PrefetchPolicy&);
+template void collect_smems<index::FmIndexCp32>(
+    const index::FmIndexCp32&, std::span<const seq::Code>,
+    const SeedingOptions&, std::vector<Smem>&, SmemWorkspace&,
+    const util::PrefetchPolicy&);
+
+std::vector<std::pair<int, int>> brute_force_smems(
+    const std::vector<seq::Code>& text, std::span<const seq::Code> query,
+    int min_len) {
+  const int len = static_cast<int>(query.size());
+
+  // Occurrence check for query[b, e) in text or its reverse complement.
+  auto occurs = [&](int b, int e) {
+    const int m = e - b;
+    if (m <= 0) return false;
+    for (int d = 0; d < m; ++d)
+      if (query[static_cast<std::size_t>(b + d)] > 3) return false;
+    const int n = static_cast<int>(text.size());
+    for (int s = 0; s + m <= n; ++s) {
+      bool fwd = true, rev = true;
+      for (int d = 0; d < m && (fwd || rev); ++d) {
+        if (text[static_cast<std::size_t>(s + d)] != query[static_cast<std::size_t>(b + d)]) fwd = false;
+        if (seq::complement(text[static_cast<std::size_t>(s + m - 1 - d)]) !=
+            query[static_cast<std::size_t>(b + d)])
+          rev = false;
+      }
+      if (fwd || rev) return true;
+    }
+    return false;
+  };
+
+  // MEMs: for each end position, the longest match ending there that cannot
+  // be extended either way; SMEM = MEM not contained in another MEM.
+  std::vector<std::pair<int, int>> mems;
+  for (int e = 1; e <= len; ++e) {
+    // longest b for which query[b,e) occurs
+    int lo = 0, hi = e;  // search smallest b with occurs(b, e)
+    if (!occurs(e - 1, e)) continue;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (occurs(mid, e)) hi = mid; else lo = mid + 1;
+    }
+    const int b = lo;
+    // maximal to the right: query[b, e+1) must not occur
+    if (e < len && occurs(b, e + 1)) continue;
+    mems.emplace_back(b, e);
+  }
+  // Drop contained MEMs, keep length filter.
+  std::vector<std::pair<int, int>> smems;
+  for (const auto& m : mems) {
+    bool contained = false;
+    for (const auto& o : mems)
+      if (o != m && o.first <= m.first && m.second <= o.second) {
+        contained = true;
+        break;
+      }
+    if (!contained && m.second - m.first >= min_len) smems.push_back(m);
+  }
+  std::sort(smems.begin(), smems.end());
+  smems.erase(std::unique(smems.begin(), smems.end()), smems.end());
+  return smems;
+}
+
+}  // namespace mem2::smem

@@ -1,0 +1,49 @@
+// SMEM seeding stage — BWA-MEM's mem_collect_intv on our index.
+//
+// Three rounds (all feeding one sorted interval list):
+//   1. all SMEMs with length >= min_seed_len;
+//   2. re-seeding inside long low-occurrence SMEMs (length >= split_len and
+//      interval size <= split_width): rerun smem1 from the SMEM's middle
+//      with min_intv = s+1 to split it into shorter, more repetitive seeds;
+//   3. LAST-like greedy forward seeds with interval size < max_mem_intv.
+// Output is sorted by (qb, qe) — bwa's info ordering.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "smem/smem_search.h"
+
+namespace mem2::smem {
+
+struct SeedingOptions {
+  int min_seed_len = 19;      // bwa -k
+  double split_factor = 1.5;  // bwa -r
+  idx_t split_width = 10;     // bwa -y companion (opt->split_width)
+  idx_t max_mem_intv = 20;    // bwa -y (third round); 0 disables
+};
+
+/// Collect seeding intervals for one read.  `query` uses codes 0..3 with 4
+/// for ambiguous bases.  Appends to `out` (cleared first).
+template <class Fm>
+void collect_smems(const Fm& fm, std::span<const seq::Code> query,
+                   const SeedingOptions& opt, std::vector<Smem>& out,
+                   SmemWorkspace& ws, const util::PrefetchPolicy& pf);
+
+extern template void collect_smems<index::FmIndexCp128>(
+    const index::FmIndexCp128&, std::span<const seq::Code>,
+    const SeedingOptions&, std::vector<Smem>&, SmemWorkspace&,
+    const util::PrefetchPolicy&);
+extern template void collect_smems<index::FmIndexCp32>(
+    const index::FmIndexCp32&, std::span<const seq::Code>,
+    const SeedingOptions&, std::vector<Smem>&, SmemWorkspace&,
+    const util::PrefetchPolicy&);
+
+/// Reference implementation for property tests: brute-force SMEMs by
+/// scanning the text for maximal exact matches (O(len^2 * scan)).  Returns
+/// (qb, qe) pairs of all SMEMs with length >= min_len, sorted by qb.
+std::vector<std::pair<int, int>> brute_force_smems(
+    const std::vector<seq::Code>& text, std::span<const seq::Code> query,
+    int min_len);
+
+}  // namespace mem2::smem

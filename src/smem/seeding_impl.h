@@ -1,0 +1,67 @@
+// Template implementation of collect_smems (three-round seeding).
+// Included by seeding.cpp for the standard index flavours and by benches
+// that instantiate experimental Occ layouts (e.g. the eta ablation).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "smem/seeding.h"
+
+namespace mem2::smem {
+
+template <class Fm>
+void collect_smems(const Fm& fm, std::span<const seq::Code> query,
+                   const SeedingOptions& opt, std::vector<Smem>& out,
+                   SmemWorkspace& ws, const util::PrefetchPolicy& pf) {
+  const int len = static_cast<int>(query.size());
+  const int split_len = static_cast<int>(
+      static_cast<double>(opt.min_seed_len) * opt.split_factor + .499);
+  out.clear();
+
+  // Round 1: all SMEMs of sufficient length.
+  int x = 0;
+  while (x < len) {
+    if (query[static_cast<std::size_t>(x)] < 4) {
+      x = smem1(fm, query, x, /*min_intv=*/1, ws.mem1, ws, pf);
+      for (const Smem& m : ws.mem1)
+        if (m.len() >= opt.min_seed_len) out.push_back(m);
+    } else {
+      ++x;
+    }
+  }
+
+  // Round 2: re-seed long unique-ish SMEMs from their middle.
+  const std::size_t old_n = out.size();
+  for (std::size_t k = 0; k < old_n; ++k) {
+    const Smem p = out[k];  // copy: out grows below
+    if (p.len() < split_len || p.bi.s > opt.split_width) continue;
+    smem1(fm, query, (p.qb + p.qe) >> 1, p.bi.s + 1, ws.mem1, ws, pf);
+    for (const Smem& m : ws.mem1)
+      if (m.len() >= opt.min_seed_len) out.push_back(m);
+  }
+
+  // Round 3: LAST-like greedy seeds.
+  if (opt.max_mem_intv > 0) {
+    x = 0;
+    while (x < len) {
+      if (query[static_cast<std::size_t>(x)] < 4) {
+        Smem m;
+        x = seed_strategy1(fm, query, x, opt.min_seed_len, opt.max_mem_intv, m);
+        if (m.bi.s > 0) out.push_back(m);
+      } else {
+        ++x;
+      }
+    }
+  }
+
+  // bwa sorts by the packed (qb<<32|qe) key; reproduce that ordering and
+  // break remaining ties by interval start for full determinism.
+  std::sort(out.begin(), out.end(), [](const Smem& a, const Smem& b) {
+    if (a.qb != b.qb) return a.qb < b.qb;
+    if (a.qe != b.qe) return a.qe < b.qe;
+    return a.bi.k < b.bi.k;
+  });
+}
+
+}  // namespace mem2::smem

@@ -1,0 +1,23 @@
+// smem1/seed_strategy1 are header templates (smem_search.h); this TU pins
+// explicit instantiations for the two index flavours.
+#include "smem/smem_search.h"
+
+namespace mem2::smem {
+
+template int smem1<index::FmIndexCp128>(const index::FmIndexCp128&,
+                                        std::span<const seq::Code>, int, idx_t,
+                                        std::vector<Smem>&, SmemWorkspace&,
+                                        const util::PrefetchPolicy&);
+template int smem1<index::FmIndexCp32>(const index::FmIndexCp32&,
+                                       std::span<const seq::Code>, int, idx_t,
+                                       std::vector<Smem>&, SmemWorkspace&,
+                                       const util::PrefetchPolicy&);
+
+template int seed_strategy1<index::FmIndexCp128>(const index::FmIndexCp128&,
+                                                 std::span<const seq::Code>,
+                                                 int, int, idx_t, Smem&);
+template int seed_strategy1<index::FmIndexCp32>(const index::FmIndexCp32&,
+                                                std::span<const seq::Code>,
+                                                int, int, idx_t, Smem&);
+
+}  // namespace mem2::smem

@@ -1,0 +1,64 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace mem2::util {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  MEM2_REQUIRE(chunk_bytes > 0, "Arena chunk size must be positive");
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  MEM2_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+               "Arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;  // keep returned pointers distinct
+
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      // Align the absolute address, not the chunk-relative offset.
+      const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+      const std::size_t aligned =
+          ((base + offset_ + align - 1) & ~(align - 1)) - base;
+      if (aligned + bytes <= c.size) {
+        offset_ = aligned + bytes;
+        bytes_allocated_ += bytes;
+        return c.data.get() + aligned;
+      }
+      // Active chunk exhausted: move to the next (possibly recycled) chunk.
+      ++active_;
+      offset_ = 0;
+      continue;
+    }
+    add_chunk(bytes + align);
+  }
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  std::size_t size = std::max(chunk_bytes_, min_bytes);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size);
+  c.size = size;
+  bytes_reserved_ += size;
+  ++system_allocations_;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::reset() noexcept {
+  active_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+void Arena::release() noexcept {
+  chunks_.clear();
+  active_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+  system_allocations_ = 0;
+}
+
+}  // namespace mem2::util

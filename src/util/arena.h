@@ -1,0 +1,98 @@
+// Arena allocator (paper §3.2 "Improving Inefficient Memory Allocation").
+//
+// Original BWA-MEM allocates/frees many small blocks per read, which defeats
+// hardware prefetching and cache reuse.  The optimized workflow instead
+// allocates a few large contiguous blocks once and reuses them across
+// batches.  Arena is that mechanism: bump-pointer allocation out of large
+// chunks, O(1) reset between batches, no per-object free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mem2::util {
+
+class Arena {
+ public:
+  /// @param chunk_bytes granularity of the underlying large allocations.
+  ///        Oversized requests get a dedicated chunk of their exact size.
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  ~Arena() = default;
+
+  /// Allocate `bytes` with the given alignment (power of two).  Memory is
+  /// uninitialized and remains valid until reset() or destruction.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed helper: allocate an uninitialized array of n T.
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Make all chunks reusable without returning them to the OS.  This is the
+  /// key operation for cross-batch buffer reuse: after the first batch the
+  /// arena stops touching the system allocator entirely.
+  void reset() noexcept;
+
+  /// Release all memory back to the OS (keeps the arena usable).
+  void release() noexcept;
+
+  std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+  std::size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+  /// Number of trips to the system allocator since construction/release().
+  std::size_t system_allocations() const noexcept { return system_allocations_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{8} << 20;  // 8 MiB
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void add_chunk(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;   // index of the chunk we are bumping in
+  std::size_t offset_ = 0;   // bump offset within the active chunk
+  std::size_t chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t system_allocations_ = 0;
+};
+
+/// std-compatible allocator adapter so arena memory can back std::vector in
+/// batch-scoped containers.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) { return arena_->allocate_array<T>(n); }
+  void deallocate(T*, std::size_t) noexcept {}  // bulk-freed by Arena::reset
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace mem2::util

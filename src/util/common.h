@@ -1,0 +1,46 @@
+// Common small definitions shared across the mem2 library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mem2 {
+
+/// Index type used for positions in the (possibly multi-hundred-Mbp)
+/// reference and in the BW matrix.  BWA uses 64-bit positions; we follow.
+using idx_t = std::int64_t;
+
+/// Unsigned companion of idx_t, used for SA-interval sizes.
+using uidx_t = std::uint64_t;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MEM2_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MEM2_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define MEM2_RESTRICT __restrict__
+#else
+#define MEM2_LIKELY(x) (x)
+#define MEM2_UNLIKELY(x) (x)
+#define MEM2_RESTRICT
+#endif
+
+/// Thrown on malformed external input (FASTA/FASTQ/index files).
+class io_error : public std::runtime_error {
+ public:
+  explicit io_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an index / aligner invariant is violated.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+#define MEM2_REQUIRE(cond, msg)                           \
+  do {                                                    \
+    if (MEM2_UNLIKELY(!(cond)))                           \
+      throw ::mem2::invariant_error(std::string(msg));    \
+  } while (0)
+
+}  // namespace mem2

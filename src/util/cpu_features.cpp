@@ -1,0 +1,64 @@
+#include "util/cpu_features.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mem2::util {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Isa detect_isa() {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512vl"))
+    return Isa::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+}
+
+Isa parse_isa(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name) s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (s == "scalar") return Isa::kScalar;
+  if (s == "avx2") return Isa::kAvx2;
+  if (s == "avx512") return Isa::kAvx512;
+  throw std::invalid_argument("unknown ISA name: " + name);
+}
+
+namespace {
+
+std::atomic<int> g_cap{-1};  // -1: uninitialized
+
+Isa initial_cap() {
+  if (const char* env = std::getenv("MEM2_FORCE_ISA")) {
+    return parse_isa(env);
+  }
+  return Isa::kAvx512;  // no cap
+}
+
+}  // namespace
+
+void set_isa_cap(Isa cap) { g_cap.store(static_cast<int>(cap), std::memory_order_relaxed); }
+
+Isa dispatch_isa() {
+  int cap = g_cap.load(std::memory_order_relaxed);
+  if (cap < 0) {
+    cap = static_cast<int>(initial_cap());
+    g_cap.store(cap, std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(std::min(static_cast<int>(detect_isa()), cap));
+}
+
+}  // namespace mem2::util

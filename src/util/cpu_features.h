@@ -1,0 +1,36 @@
+// Runtime CPU feature detection and kernel dispatch policy.
+//
+// The paper evaluates AVX512 (SKX) and AVX2 (HSW) builds plus a scalar
+// fallback.  We compile all three kernel variants into one binary and pick
+// at runtime; Isa can also be forced (e.g. MEM2_FORCE_ISA=avx2) so the
+// benches can produce the HSW-style columns on an AVX512 machine.
+#pragma once
+
+#include <string>
+
+namespace mem2::util {
+
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+const char* isa_name(Isa isa);
+
+/// Best ISA supported by the executing CPU.
+Isa detect_isa();
+
+/// Dispatch choice: min(detect_isa(), forced cap).  The cap comes from
+/// set_isa_cap() or the MEM2_FORCE_ISA environment variable
+/// ("scalar" | "avx2" | "avx512"), read once at first call.
+Isa dispatch_isa();
+
+/// Programmatic override used by tests/benches to exercise narrower kernels.
+/// Pass detect_isa() to restore the default.
+void set_isa_cap(Isa cap);
+
+/// Parse "scalar"/"avx2"/"avx512" (case-insensitive); throws on other input.
+Isa parse_isa(const std::string& name);
+
+}  // namespace mem2::util

@@ -1,0 +1,90 @@
+#include "util/perf_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mem2::util {
+
+struct PerfCounters::Event {
+  int fd = -1;
+};
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0 /*self*/, -1 /*any cpu*/, -1, 0));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  // Order must match the slot order in stop().
+  const std::uint64_t configs[4] = {
+      PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CPU_CYCLES,
+      PERF_COUNT_HW_CACHE_REFERENCES,
+      PERF_COUNT_HW_CACHE_MISSES,
+  };
+  for (std::uint64_t cfg : configs)
+    events_.push_back(Event{open_event(PERF_TYPE_HARDWARE, cfg)});
+  available_ = events_[0].fd >= 0;
+}
+
+PerfCounters::~PerfCounters() {
+  for (auto& e : events_)
+    if (e.fd >= 0) close(e.fd);
+}
+
+void PerfCounters::start() {
+  for (auto& e : events_) {
+    if (e.fd < 0) continue;
+    ioctl(e.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(e.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfSample PerfCounters::stop() {
+  PerfSample s;
+  std::uint64_t* slots[4] = {&s.instructions, &s.cycles, &s.cache_references,
+                             &s.cache_misses};
+  bool any = false;
+  for (std::size_t i = 0; i < events_.size() && i < 4; ++i) {
+    auto& e = events_[i];
+    if (e.fd < 0) continue;
+    ioctl(e.fd, PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t value = 0;
+    if (read(e.fd, &value, sizeof(value)) == sizeof(value)) {
+      *slots[i] = value;
+      any = true;
+    }
+  }
+  s.valid = any;
+  return s;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfSample PerfCounters::stop() { return {}; }
+
+#endif
+
+}  // namespace mem2::util

@@ -1,0 +1,47 @@
+// Hardware performance counters via perf_event_open, with graceful fallback.
+//
+// Reproduces the VTune columns of Tables 4, 5 and 7 (instructions, cycles,
+// cache misses) when the kernel allows it.  In locked-down containers the
+// syscall fails with EPERM/ENOSYS; available() then reports false and the
+// benches print the software-counter proxies instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mem2::util {
+
+struct PerfSample {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  bool valid = false;
+
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when at least the instruction counter opened successfully.
+  bool available() const { return available_; }
+
+  void start();
+  /// Stop counting and return the deltas since start().
+  PerfSample stop();
+
+ private:
+  struct Event;
+  std::vector<Event> events_;
+  bool available_ = false;
+};
+
+}  // namespace mem2::util

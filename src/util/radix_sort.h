@@ -1,0 +1,44 @@
+// LSD radix sort on unsigned keys with an index payload.
+//
+// Paper §5.3.1: sequence pairs are radix-sorted by length before SIMD
+// batching so that pairs sharing a vector register have similar lengths
+// (1.5-1.7x BSW speedup from this alone).  The sort is stable, which also
+// keeps the post-sort order deterministic for the identical-output contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mem2::util {
+
+/// Stable LSD radix sort of `perm` (indices into keys) by keys[perm[i]],
+/// 8 bits per pass.  Runs ceil(key_bits/8) passes where key_bits covers the
+/// maximum key present, so short keys (sequence lengths) take 1-2 passes.
+template <typename Key>
+void radix_sort_indices(const std::vector<Key>& keys, std::vector<std::uint32_t>& perm) {
+  static_assert(std::is_unsigned_v<Key>, "radix sort requires unsigned keys");
+  const std::size_t n = perm.size();
+  if (n <= 1) return;
+
+  Key max_key = 0;
+  for (std::uint32_t i : perm) max_key = keys[i] > max_key ? keys[i] : max_key;
+
+  std::vector<std::uint32_t> scratch(n);
+  std::uint32_t* src = perm.data();
+  std::uint32_t* dst = scratch.data();
+
+  for (int shift = 0; (max_key >> shift) != 0 || shift == 0; shift += 8) {
+    std::uint32_t count[257] = {0};
+    for (std::size_t i = 0; i < n; ++i)
+      ++count[((keys[src[i]] >> shift) & 0xff) + 1];
+    for (int b = 0; b < 256; ++b) count[b + 1] += count[b];
+    for (std::size_t i = 0; i < n; ++i)
+      dst[count[(keys[src[i]] >> shift) & 0xff]++] = src[i];
+    std::swap(src, dst);
+    if ((max_key >> shift) >> 8 == 0) break;
+  }
+  if (src != perm.data())
+    std::copy(scratch.begin(), scratch.end(), perm.begin());
+}
+
+}  // namespace mem2::util

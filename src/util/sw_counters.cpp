@@ -1,0 +1,45 @@
+#include "util/sw_counters.h"
+
+#include <sstream>
+
+namespace mem2::util {
+
+SwCounters& SwCounters::operator+=(const SwCounters& o) {
+  occ_bucket_loads += o.occ_bucket_loads;
+  backward_exts += o.backward_exts;
+  forward_exts += o.forward_exts;
+  prefetches += o.prefetches;
+  smems_found += o.smems_found;
+  sa_lookups += o.sa_lookups;
+  sa_lf_steps += o.sa_lf_steps;
+  sa_memory_loads += o.sa_memory_loads;
+  bsw_pairs += o.bsw_pairs;
+  bsw_cells_total += o.bsw_cells_total;
+  bsw_cells_useful += o.bsw_cells_useful;
+  bsw_aborted_pairs += o.bsw_aborted_pairs;
+  return *this;
+}
+
+std::string SwCounters::summary() const {
+  std::ostringstream os;
+  os << "occ_bucket_loads=" << occ_bucket_loads
+     << " backward_exts=" << backward_exts
+     << " forward_exts=" << forward_exts
+     << " prefetches=" << prefetches
+     << " smems=" << smems_found
+     << " sa_lookups=" << sa_lookups
+     << " sa_lf_steps=" << sa_lf_steps
+     << " sa_loads=" << sa_memory_loads
+     << " bsw_pairs=" << bsw_pairs
+     << " bsw_cells_total=" << bsw_cells_total
+     << " bsw_cells_useful=" << bsw_cells_useful
+     << " bsw_aborts=" << bsw_aborted_pairs;
+  return os.str();
+}
+
+SwCounters& tls_counters() {
+  thread_local SwCounters counters;
+  return counters;
+}
+
+}  // namespace mem2::util

@@ -1,0 +1,45 @@
+// Software event counters — the container-safe stand-in for VTune.
+//
+// The paper reports hardware counters (instructions, LLC misses, average
+// latency).  Inside a container perf_event_open is usually forbidden, so the
+// kernels additionally maintain cheap software counters for the quantities
+// the paper's argument actually rests on: how many Occ buckets are touched
+// per SMEM (cache traffic proxy), how many LF steps a compressed-SA lookup
+// takes (instruction-count proxy), and how many DP cells BSW computes
+// (useful vs wasted work, Table 8 discussion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mem2::util {
+
+struct SwCounters {
+  // SMEM kernel
+  std::uint64_t occ_bucket_loads = 0;   // Occ bucket (cache line) touches
+  std::uint64_t backward_exts = 0;      // Backward_Ext calls
+  std::uint64_t forward_exts = 0;       // Forward_Ext calls
+  std::uint64_t prefetches = 0;         // software prefetches issued
+  std::uint64_t smems_found = 0;
+
+  // SAL kernel
+  std::uint64_t sa_lookups = 0;
+  std::uint64_t sa_lf_steps = 0;        // LF walk steps (0 for flat SA)
+  std::uint64_t sa_memory_loads = 0;    // distinct memory loads performed
+
+  // BSW kernel
+  std::uint64_t bsw_pairs = 0;
+  std::uint64_t bsw_cells_total = 0;    // all SIMD-lane cells computed
+  std::uint64_t bsw_cells_useful = 0;   // cells inside a live pair's band
+  std::uint64_t bsw_aborted_pairs = 0;  // z-drop / zero-row early exits
+
+  SwCounters& operator+=(const SwCounters& o);
+  void reset() { *this = SwCounters{}; }
+  std::string summary() const;
+};
+
+/// Per-thread counter sink.  Kernels bump the thread-local instance so the
+/// hot paths never touch shared cache lines; drivers aggregate at batch ends.
+SwCounters& tls_counters();
+
+}  // namespace mem2::util

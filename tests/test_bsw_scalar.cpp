@@ -1,0 +1,255 @@
+// Scalar BSW kernel: hand-checked alignments, banding/z-drop behaviour, and
+// the global (CIGAR) aligner against known answers and invariants.
+#include <gtest/gtest.h>
+
+#include "bsw/ksw.h"
+#include "seq/dna.h"
+#include "util/rng.h"
+#include "util/sw_counters.h"
+
+namespace mem2::bsw {
+namespace {
+
+std::vector<seq::Code> codes(const char* s) { return seq::encode(s); }
+
+ExtendJob make_job(const std::vector<seq::Code>& q, const std::vector<seq::Code>& t,
+                   int h0 = 10, int w = 100) {
+  ExtendJob j;
+  j.query = q.data();
+  j.qlen = static_cast<int>(q.size());
+  j.target = t.data();
+  j.tlen = static_cast<int>(t.size());
+  j.h0 = h0;
+  j.w = w;
+  return j;
+}
+
+TEST(KswExtend, PerfectMatchExtendsToEnd) {
+  const auto q = codes("ACGTACGTACGTACGT");
+  const auto t = codes("ACGTACGTACGTACGT");
+  const KswParams p;
+  const auto r = ksw_extend_scalar(make_job(q, t, 10), p);
+  // Every base matches: score = h0 + qlen * a.
+  EXPECT_EQ(r.score, 10 + 16);
+  EXPECT_EQ(r.qle, 16);
+  EXPECT_EQ(r.tle, 16);
+  EXPECT_EQ(r.gscore, 10 + 16);  // reaches the query end
+  EXPECT_EQ(r.gtle, 16);
+  EXPECT_EQ(r.max_off, 0);
+}
+
+TEST(KswExtend, MismatchReducesScore) {
+  const auto q = codes("ACGTACGTACGTACGT");
+  auto tt = codes("ACGTACGTACGTACGT");
+  tt[8] = seq::complement(tt[8]);  // one mismatch mid-way
+  const KswParams p;
+  const auto r = ksw_extend_scalar(make_job(q, tt, 10), p);
+  EXPECT_EQ(r.score, 10 + 16 - p.a - p.b);  // 15 matches + 1 mismatch
+  EXPECT_EQ(r.qle, 16);
+}
+
+TEST(KswExtend, PrefixOnlyMatchStopsAtBestCell) {
+  // 8 matching bases then garbage: best cell is at (8, 8).
+  const auto q = codes("ACGTACGTTTTTTTTT");
+  const auto t = codes("ACGTACGTAAAAAAAA");
+  const KswParams p;
+  const auto r = ksw_extend_scalar(make_job(q, t, 5), p);
+  EXPECT_EQ(r.score, 5 + 8);
+  EXPECT_EQ(r.qle, 8);
+  EXPECT_EQ(r.tle, 8);
+}
+
+TEST(KswExtend, DeletionCostsGap) {
+  // Target has 2 extra bases mid-way; the 12-base matching tail makes
+  // bridging the gap (cost 8) better than stopping before it (gain 12).
+  const auto q = codes("ACGTACGTACGTGGCCGGCCAGTT");       // 24 bases
+  const auto t = codes("ACGTACGTACGTAAGGCCGGCCAGTT");     // +2 insertion at 12
+  const KswParams p;
+  const auto r = ksw_extend_scalar(make_job(q, t, 20), p);
+  EXPECT_EQ(r.score, 20 + 24 - (p.o_del + 2 * p.e_del));
+  EXPECT_EQ(r.qle, 24);
+  EXPECT_EQ(r.tle, 26);
+}
+
+TEST(KswExtend, GscoreTracksEndToEndAlignment) {
+  // Best local score clips the tail, but gscore must span the whole query.
+  auto q = codes("ACGTACGTACGTACGT");
+  auto t = codes("ACGTACGTACGTACGT");
+  q[15] = seq::complement(q[15]);
+  q[14] = seq::complement(q[14]);
+  const KswParams p;
+  const auto r = ksw_extend_scalar(make_job(q, t, 10), p);
+  EXPECT_EQ(r.score, 10 + 14);  // clip the 2 mismatching bases
+  EXPECT_EQ(r.qle, 14);
+  // End-to-end the cheapest way to consume the 2 mismatching query bases is
+  // a 2-base insertion (cost 8), beating 2 mismatches (cost 10).
+  EXPECT_EQ(r.gscore, 10 + 14 - (p.o_ins + 2 * p.e_ins));
+}
+
+TEST(KswExtend, ZdropAbortsChasing) {
+  // Long mismatch run after a good prefix: with zdrop the kernel stops early
+  // and reports the prefix score.
+  std::string qs(100, 'A'), ts(100, 'A');
+  for (int i = 20; i < 100; ++i) ts[static_cast<std::size_t>(i)] = 'C';
+  const auto q = codes(qs.c_str());
+  const auto t = codes(ts.c_str());
+  KswParams p;
+  p.zdrop = 10;
+  auto& ctr = util::tls_counters();
+  const auto aborts_before = ctr.bsw_aborted_pairs;
+  const auto r = ksw_extend_scalar(make_job(q, t, 7), p);
+  EXPECT_EQ(r.score, 7 + 20);
+  EXPECT_EQ(ctr.bsw_aborted_pairs, aborts_before + 1);
+}
+
+TEST(KswExtend, BandLimitsGapLength) {
+  // A 12-base target insertion with a long matching tail: bridging costs 18
+  // and gains 30, but needs a band wider than the 12-base offset.  The head
+  // must score above the gap cost or the local-alignment zero floor kills
+  // the path inside the gap.
+  const std::string head = "ACGTACGTACGTACGT";                // 16 bases
+  const std::string tail = "GGCCAGTTGGCCAGTTGGCCAGTTGGCCAG";  // 30 bases
+  const auto q = codes((head + tail).c_str());
+  const auto t = codes((head + std::string(12, 'T') + tail).c_str());
+  KswParams p;
+  const auto narrow = ksw_extend_scalar(make_job(q, t, 10, /*w=*/4), p);
+  const auto wide = ksw_extend_scalar(make_job(q, t, 10, /*w=*/50), p);
+  EXPECT_GT(wide.score, narrow.score);
+  EXPECT_EQ(wide.score, 10 + 46 - (p.o_del + 12 * p.e_del));
+  EXPECT_GT(wide.max_off, 4);
+}
+
+TEST(KswExtend, H0SeedsTheAlignment) {
+  const auto q = codes("ACGT");
+  const auto t = codes("ACGT");
+  const KswParams p;
+  for (int h0 : {1, 5, 42}) {
+    const auto r = ksw_extend_scalar(make_job(q, t, h0), p);
+    EXPECT_EQ(r.score, h0 + 4);
+  }
+}
+
+TEST(KswExtend, AmbiguousBasesScoreMinusOne) {
+  const auto q = codes("ACGTNACGT");
+  const auto t = codes("ACGTAACGT");
+  const KswParams p;
+  const auto r = ksw_extend_scalar(make_job(q, t, 10), p);
+  EXPECT_EQ(r.score, 10 + 8 - 1);
+}
+
+// ----- global aligner ------------------------------------------------------
+
+TEST(KswGlobal, PerfectMatch) {
+  const auto q = codes("ACGTACGT");
+  const auto t = codes("ACGTACGT");
+  Cigar cig;
+  const KswParams p;
+  const int score = ksw_global(q.data(), 8, t.data(), 8, p, 10, cig);
+  EXPECT_EQ(score, 8);
+  EXPECT_EQ(cigar_string(cig), "8M");
+}
+
+TEST(KswGlobal, SubstitutionStaysM) {
+  const auto q = codes("ACGTACGT");
+  auto t = codes("ACGTACGT");
+  t[3] = seq::complement(t[3]);
+  Cigar cig;
+  const KswParams p;
+  const int score = ksw_global(q.data(), 8, t.data(), 8, p, 10, cig);
+  EXPECT_EQ(score, 7 * p.a - p.b);
+  EXPECT_EQ(cigar_string(cig), "8M");
+}
+
+TEST(KswGlobal, InsertionInQuery) {
+  const auto q = codes("ACGTTTACGT");  // 2-base insertion vs target
+  const auto t = codes("ACGTACGT");
+  Cigar cig;
+  const KswParams p;
+  const int score = ksw_global(q.data(), 10, t.data(), 8, p, 10, cig);
+  EXPECT_EQ(score, 8 * p.a - (p.o_ins + 2 * p.e_ins));
+  int q_span = 0, t_span = 0;
+  int ins = 0;
+  for (const auto& op : cig) {
+    if (op.op == 'M') q_span += op.len, t_span += op.len;
+    if (op.op == 'I') q_span += op.len, ins += op.len;
+    if (op.op == 'D') t_span += op.len;
+  }
+  EXPECT_EQ(q_span, 10);
+  EXPECT_EQ(t_span, 8);
+  EXPECT_EQ(ins, 2);
+}
+
+TEST(KswGlobal, DeletionInQuery) {
+  const auto q = codes("ACGTACGT");
+  const auto t = codes("ACGTGGACGT");
+  Cigar cig;
+  const KswParams p;
+  const int score = ksw_global(q.data(), 8, t.data(), 10, p, 10, cig);
+  EXPECT_EQ(score, 8 * p.a - (p.o_del + 2 * p.e_del));
+  int d = 0;
+  for (const auto& op : cig)
+    if (op.op == 'D') d += op.len;
+  EXPECT_EQ(d, 2);
+}
+
+TEST(KswGlobal, EmptyEdgeCases) {
+  const auto q = codes("ACGT");
+  Cigar cig;
+  const KswParams p;
+  EXPECT_EQ(ksw_global(q.data(), 4, nullptr, 0, p, 5, cig), -(p.o_ins + 4 * p.e_ins));
+  EXPECT_EQ(cigar_string(cig), "4I");
+  EXPECT_EQ(ksw_global(nullptr, 0, q.data(), 4, p, 5, cig), -(p.o_del + 4 * p.e_del));
+  EXPECT_EQ(cigar_string(cig), "4D");
+  EXPECT_EQ(ksw_global(nullptr, 0, nullptr, 0, p, 5, cig), 0);
+  EXPECT_EQ(cigar_string(cig), "*");
+}
+
+// Property: CIGAR spans always cover both sequences exactly, and the score
+// recomputed from the CIGAR path equals the returned score.
+class KswGlobalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KswGlobalProperty, CigarConsistentWithScore) {
+  util::Xoshiro256ss rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const KswParams p;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int tlen = 10 + static_cast<int>(rng.below(60));
+    std::vector<seq::Code> t(static_cast<std::size_t>(tlen));
+    for (auto& c : t) c = static_cast<seq::Code>(rng.below(4));
+    // Query = mutated copy (subs + small indels).
+    std::vector<seq::Code> q;
+    for (const auto c : t) {
+      if (rng.chance(0.04)) continue;                      // deletion
+      if (rng.chance(0.04)) q.push_back(static_cast<seq::Code>(rng.below(4)));  // insertion
+      q.push_back(rng.chance(0.05) ? static_cast<seq::Code>(rng.below(4)) : c);
+    }
+    if (q.empty()) q.push_back(0);
+
+    Cigar cig;
+    const int score =
+        ksw_global(q.data(), static_cast<int>(q.size()), t.data(), tlen, p, 20, cig);
+
+    int qi = 0, ti = 0, recomputed = 0;
+    const auto mat = p.matrix();
+    for (const auto& op : cig) {
+      if (op.op == 'M') {
+        for (int k = 0; k < op.len; ++k, ++qi, ++ti)
+          recomputed += mat[static_cast<std::size_t>(
+              t[static_cast<std::size_t>(ti)] * 5 + q[static_cast<std::size_t>(qi)])];
+      } else if (op.op == 'I') {
+        recomputed -= p.o_ins + p.e_ins * op.len;
+        qi += op.len;
+      } else if (op.op == 'D') {
+        recomputed -= p.o_del + p.e_del * op.len;
+        ti += op.len;
+      }
+    }
+    ASSERT_EQ(qi, static_cast<int>(q.size()));
+    ASSERT_EQ(ti, tlen);
+    ASSERT_EQ(recomputed, score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KswGlobalProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mem2::bsw

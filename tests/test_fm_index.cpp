@@ -1,0 +1,199 @@
+// FM-index invariants: occ backends vs naive counting, CP128 == CP32,
+// backward/forward extension vs brute-force substring search over the
+// doubled text, bucket layout static properties.
+#include <gtest/gtest.h>
+
+#include "index/bwt.h"
+#include "index/fm_index.h"
+#include "index/sais.h"
+#include "seq/genome_sim.h"
+#include "util/rng.h"
+
+namespace mem2::index {
+namespace {
+
+struct Fixture {
+  std::vector<seq::Code> ref;   // forward strand
+  std::vector<seq::Code> text;  // ref + revcomp(ref)
+  std::vector<idx_t> sa;
+  BwtData bwt;
+  FmIndexCp128 fm128;
+  FmIndexCp32 fm32;
+
+  explicit Fixture(std::int64_t len, std::uint64_t seed) {
+    const auto genome = seq::random_genome(len, seed);
+    ref.resize(static_cast<std::size_t>(genome.length()));
+    genome.pac().extract(0, ref.size(), ref.data());
+    text = with_reverse_complement(ref);
+    sa = build_suffix_array(text);
+    bwt = derive_bwt(text, sa);
+    fm128.build(bwt);
+    fm128.store_raw_bwt(bwt);
+    fm32.build(bwt);
+  }
+
+  // Number of occurrences of pattern in text (exact, forward only).
+  int count_occurrences(const std::vector<seq::Code>& pat) const {
+    if (pat.empty()) return static_cast<int>(text.size()) + 1;
+    int n = 0;
+    for (std::size_t s = 0; s + pat.size() <= text.size(); ++s) {
+      bool ok = true;
+      for (std::size_t d = 0; d < pat.size() && ok; ++d)
+        ok = text[s + d] == pat[d];
+      n += ok;
+    }
+    return n;
+  }
+};
+
+TEST(OccLayout, Cp32BucketIsOneCacheLine) {
+  EXPECT_EQ(sizeof(OccCp32::Bucket), 64u);
+  EXPECT_EQ(alignof(OccCp32::Bucket), 64u);
+  EXPECT_EQ(OccCp32::kBucket, 32);
+  EXPECT_EQ(sizeof(OccCp128::Bucket), 64u);
+  EXPECT_EQ(OccCp128::kBucket, 128);
+}
+
+TEST(Occ, BackendsMatchNaiveCounting) {
+  Fixture fx(2000, 3);
+  const auto& bwtv = fx.bwt.bwt;
+  // Naive prefix counts.
+  std::vector<std::array<idx_t, 4>> prefix(bwtv.size() + 1, {0, 0, 0, 0});
+  for (std::size_t j = 0; j < bwtv.size(); ++j) {
+    prefix[j + 1] = prefix[j];
+    ++prefix[j + 1][bwtv[j]];
+  }
+  OccCp128 occ128(bwtv);
+  OccCp32 occ32(bwtv);
+  util::Xoshiro256ss rng(5);
+  for (int t = 0; t < 3000; ++t) {
+    const idx_t j = static_cast<idx_t>(rng.below(bwtv.size() + 1));
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_EQ(occ128.occ(c, j), prefix[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)])
+          << "cp128 j=" << j << " c=" << c;
+      ASSERT_EQ(occ32.occ(c, j), prefix[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)])
+          << "cp32 j=" << j << " c=" << c;
+    }
+    idx_t o128[4], o32[4];
+    occ128.occ4(j, o128);
+    occ32.occ4(j, o32);
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_EQ(o128[c], prefix[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)]);
+      ASSERT_EQ(o32[c], prefix[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST(Occ, Cp32ScalarMatchesAvx2) {
+  if (util::detect_isa() < util::Isa::kAvx2) GTEST_SKIP() << "no AVX2";
+  Fixture fx(1000, 17);
+  OccCp32 occ(fx.bwt.bwt);
+  for (idx_t j = 0; j <= static_cast<idx_t>(fx.bwt.bwt.size()); ++j) {
+    const auto* bkt = &occ.buckets()[static_cast<std::size_t>(j >> OccCp32::kBucketShift)];
+    const int y = static_cast<int>(j & (OccCp32::kBucket - 1));
+    for (int c = 0; c < 4; ++c)
+      ASSERT_EQ(OccCp32::occ_in_bucket_scalar(bkt, c, y),
+                OccCp32::occ_in_bucket_avx2(bkt, c, y))
+          << "j=" << j << " c=" << c;
+  }
+}
+
+TEST(FmIndex, SingleBaseIntervalsCoverAllRows) {
+  Fixture fx(500, 23);
+  idx_t covered = 1;  // the sentinel row
+  for (int c = 0; c < 4; ++c) {
+    const BiInterval bi = fx.fm128.set_intv(c);
+    covered += bi.s;
+    EXPECT_EQ(bi.k, fx.fm128.cum(c));
+    // Palindromic text: count(c) == count(comp(c)), so the l-side interval
+    // has the same size by construction.
+    EXPECT_EQ(bi.l, fx.fm128.cum(3 - c));
+  }
+  EXPECT_EQ(covered, fx.fm128.seq_len() + 1);
+}
+
+// Walk a random query with backward extension; at every step the interval
+// size must equal the brute-force occurrence count and the l-interval must
+// be the interval of the reverse complement.
+class FmExtensionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmExtensionTest, BackwardExtensionMatchesBruteForce) {
+  Fixture fx(800, 29u + static_cast<unsigned>(GetParam()));
+  util::Xoshiro256ss rng(static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random pattern, extended backward base by base.
+    const int max_len = 12;
+    std::vector<seq::Code> pat;
+    int c0 = static_cast<int>(rng.below(4));
+    BiInterval bi128 = fx.fm128.set_intv(c0);
+    BiInterval bi32 = fx.fm32.set_intv(c0);
+    pat.insert(pat.begin(), static_cast<seq::Code>(c0));
+
+    for (int step = 0; step < max_len; ++step) {
+      ASSERT_EQ(bi128, bi32);
+      ASSERT_EQ(bi128.s, fx.count_occurrences(pat));
+      // l side: interval of revcomp(pat).
+      const auto rc = seq::reverse_complement(pat);
+      ASSERT_EQ(bi128.s, fx.count_occurrences(rc));
+
+      const int b = static_cast<int>(rng.below(4));
+      BiInterval ok128[4], ok32[4];
+      fx.fm128.backward_ext(bi128, ok128);
+      fx.fm32.backward_ext(bi32, ok32);
+      for (int c = 0; c < 4; ++c) ASSERT_EQ(ok128[c], ok32[c]);
+      pat.insert(pat.begin(), static_cast<seq::Code>(b));
+      bi128 = ok128[b];
+      bi32 = ok32[b];
+      if (bi128.s == 0) {
+        ASSERT_EQ(fx.count_occurrences(pat), 0);
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(FmExtensionTest, ForwardExtensionMatchesBruteForce) {
+  Fixture fx(800, 31u + static_cast<unsigned>(GetParam()));
+  util::Xoshiro256ss rng(97u + static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<seq::Code> pat;
+    const int c0 = static_cast<int>(rng.below(4));
+    BiInterval bi = fx.fm32.set_intv(c0);
+    pat.push_back(static_cast<seq::Code>(c0));
+
+    for (int step = 0; step < 12; ++step) {
+      ASSERT_EQ(bi.s, fx.count_occurrences(pat)) << "len=" << pat.size();
+      const int b = static_cast<int>(rng.below(4));
+      BiInterval ok[4];
+      fx.fm32.forward_ext(bi, ok);
+      pat.push_back(static_cast<seq::Code>(b));
+      bi = ok[b];
+      if (bi.s == 0) {
+        ASSERT_EQ(fx.count_occurrences(pat), 0);
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmExtensionTest, ::testing::Range(0, 8));
+
+TEST(FmIndex, LfStepWalksTextBackwards) {
+  Fixture fx(300, 41);
+  // Row r corresponds to suffix sa[r]; lf_step(r) must be the row of
+  // suffix sa[r]-1 (wrapping the sentinel to row 0).
+  std::vector<idx_t> row_of(fx.sa.size());
+  for (std::size_t r = 0; r < fx.sa.size(); ++r)
+    row_of[static_cast<std::size_t>(fx.sa[r])] = static_cast<idx_t>(r);
+
+  for (std::size_t r = 0; r < fx.sa.size(); ++r) {
+    const idx_t pos = fx.sa[r];
+    const idx_t expect = pos == 0 ? 0 : row_of[static_cast<std::size_t>(pos - 1)];
+    ASSERT_EQ(fx.fm128.lf_step(static_cast<idx_t>(r)), expect) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace mem2::index

@@ -1,0 +1,89 @@
+// Mem2Index coordinate semantics: strand-aware fetch over the doubled
+// coordinate space, and pipeline behaviour on reads containing N bases.
+#include <gtest/gtest.h>
+
+#include "align/driver.h"
+#include "seq/genome_sim.h"
+#include "seq/read_sim.h"
+
+namespace mem2::index {
+namespace {
+
+TEST(IndexFetch, ForwardMatchesReference) {
+  const auto idx = Mem2Index::build(seq::random_genome(5000, 3));
+  const auto got = idx.fetch(100, 150);
+  for (int i = 0; i < 50; ++i)
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], idx.ref().base(100 + i));
+}
+
+TEST(IndexFetch, ReverseHalfIsReverseComplement) {
+  const auto idx = Mem2Index::build(seq::random_genome(5000, 4));
+  const idx_t L = idx.l_pac();
+  // Doubled coordinate L+k corresponds to forward position 2L-1-(L+k)=L-1-k,
+  // complemented.
+  const auto got = idx.fetch(L + 10, L + 40);
+  for (int i = 0; i < 30; ++i)
+    ASSERT_EQ(got[static_cast<std::size_t>(i)],
+              seq::complement(idx.ref().base(L - 1 - (10 + i))));
+}
+
+TEST(IndexFetch, RejectsStrandCrossing) {
+  const auto idx = Mem2Index::build(seq::random_genome(2000, 5));
+  const idx_t L = idx.l_pac();
+  EXPECT_THROW(idx.fetch(L - 5, L + 5), mem2::invariant_error);
+  EXPECT_THROW(idx.fetch(-1, 5), mem2::invariant_error);
+}
+
+TEST(IndexFetch, DoubledTextContainsBothStrandsOfEveryWindow) {
+  // Property: any window of the forward strand occurs revcomp'ed in the
+  // reverse half at the mirrored coordinates.
+  const auto idx = Mem2Index::build(seq::random_genome(3000, 6));
+  const idx_t L = idx.l_pac();
+  for (idx_t b : {idx_t{0}, idx_t{123}, L - 60}) {
+    const auto fwd = idx.fetch(b, b + 50);
+    auto mirrored = idx.fetch(2 * L - (b + 50), 2 * L - b);
+    ASSERT_EQ(mirrored, seq::reverse_complement(fwd)) << "b=" << b;
+  }
+}
+
+TEST(AmbiguousReads, PipelineHandlesNs) {
+  const auto idx = Mem2Index::build(seq::random_genome(100000, 7));
+  seq::ReadSimConfig rc;
+  rc.num_reads = 50;
+  rc.read_length = 101;
+  rc.seed = 9;
+  auto reads = seq::simulate_reads(idx.ref(), rc);
+  // Inject N runs into every read.
+  for (auto& r : reads) {
+    r.bases[10] = 'N';
+    r.bases[50] = 'N';
+    r.bases[51] = 'N';
+  }
+  align::DriverOptions batch, base;
+  batch.mode = align::Mode::kBatch;
+  base.mode = align::Mode::kBaseline;
+  const auto sam_a = align::align_reads(idx, reads, batch);
+  const auto sam_b = align::align_reads(idx, reads, base);
+  ASSERT_EQ(sam_a.size(), sam_b.size());
+  int mapped = 0;
+  for (std::size_t i = 0; i < sam_a.size(); ++i) {
+    ASSERT_EQ(sam_a[i].to_line(), sam_b[i].to_line());
+    if (!(sam_a[i].flag & io::kFlagUnmapped)) ++mapped;
+  }
+  EXPECT_GT(mapped, 40);  // Ns should not prevent mapping
+}
+
+TEST(AmbiguousReads, AllNReadIsUnmapped) {
+  const auto idx = Mem2Index::build(seq::random_genome(50000, 8));
+  seq::Read r;
+  r.name = "allN";
+  r.bases = std::string(101, 'N');
+  r.qual = std::string(101, '#');
+  align::DriverOptions opt;
+  const auto sam = align::align_reads(idx, {r}, opt);
+  ASSERT_EQ(sam.size(), 1u);
+  EXPECT_TRUE(sam[0].flag & io::kFlagUnmapped);
+}
+
+}  // namespace
+}  // namespace mem2::index

@@ -1,0 +1,149 @@
+// io module: FASTA/FASTQ round trips and error handling, SAM formatting,
+// index serialization round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "index/mem2_index.h"
+#include "io/fasta.h"
+#include "io/fastq.h"
+#include "io/sam.h"
+#include "seq/genome_sim.h"
+
+namespace mem2::io {
+namespace {
+
+TEST(Fasta, ParsesMultiRecordWithWrapping) {
+  std::istringstream in(">chr1 a comment\nACGT\nACGT\n>chr2\nTT\n");
+  const auto recs = read_fasta(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name, "chr1");
+  EXPECT_EQ(recs[0].comment, "a comment");
+  EXPECT_EQ(recs[0].sequence, "ACGTACGT");
+  EXPECT_EQ(recs[1].name, "chr2");
+  EXPECT_EQ(recs[1].sequence, "TT");
+}
+
+TEST(Fasta, HandlesCrLfAndBlankLines) {
+  std::istringstream in(">a\r\nAC\r\n\r\nGT\r\n");
+  const auto recs = read_fasta(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sequence, "ACGT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>a\nACGT\n");
+  EXPECT_THROW(read_fasta(in), io_error);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<FastaRecord> recs = {{"x", "", std::string(150, 'A')},
+                                   {"y", "note", "ACGTACGT"}};
+  std::ostringstream out;
+  write_fasta(out, recs, 70);
+  std::istringstream in(out.str());
+  const auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].sequence, recs[0].sequence);
+  EXPECT_EQ(back[1].sequence, recs[1].sequence);
+  EXPECT_EQ(back[1].comment, "note");
+}
+
+TEST(Fastq, ParsesAndValidates) {
+  std::istringstream in("@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+r2\nII\n");
+  const auto reads = read_fastq(in);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].name, "r1");
+  EXPECT_EQ(reads[0].bases, "ACGT");
+  EXPECT_EQ(reads[0].qual, "IIII");
+}
+
+TEST(Fastq, RejectsMalformedRecords) {
+  {
+    std::istringstream in("@r1\nACGT\n+\nIII\n");  // qual too short
+    EXPECT_THROW(read_fastq(in), io_error);
+  }
+  {
+    std::istringstream in("@r1\nACGT\nIIII\n");  // missing '+'
+    EXPECT_THROW(read_fastq(in), io_error);
+  }
+  {
+    std::istringstream in("r1\nACGT\n+\nIIII\n");  // missing '@'
+    EXPECT_THROW(read_fastq(in), io_error);
+  }
+  {
+    std::istringstream in("@r1\nACGT\n+\n");  // truncated
+    EXPECT_THROW(read_fastq(in), io_error);
+  }
+}
+
+TEST(Fastq, WriteReadRoundTrip) {
+  std::vector<seq::Read> reads = {{"a", "ACGT", "IIII"}, {"b", "T", "#"}};
+  std::ostringstream out;
+  write_fastq(out, reads);
+  std::istringstream in(out.str());
+  const auto back = read_fastq(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].bases, "ACGT");
+  EXPECT_EQ(back[1].qual, "#");
+}
+
+TEST(Sam, RecordFormatting) {
+  SamRecord r;
+  r.qname = "read1";
+  r.flag = kFlagReverse;
+  r.rname = "chr1";
+  r.pos = 100;
+  r.mapq = 60;
+  r.cigar = "10M1I90M";
+  r.seq = "ACGT";
+  r.qual = "IIII";
+  r.tags = {"NM:i:1", "AS:i:95"};
+  EXPECT_EQ(r.to_line(),
+            "read1\t16\tchr1\t100\t60\t10M1I90M\t*\t0\t0\tACGT\tIIII\tNM:i:1\tAS:i:95");
+}
+
+TEST(Sam, HeaderListsContigs) {
+  seq::Reference ref;
+  ref.add_contig("chr1", "ACGTACGT");
+  ref.add_contig("chr2", "TTTT");
+  const auto hdr = sam_header(ref, "@PG\tID:mem2");
+  EXPECT_NE(hdr.find("@SQ\tSN:chr1\tLN:8"), std::string::npos);
+  EXPECT_NE(hdr.find("@SQ\tSN:chr2\tLN:4"), std::string::npos);
+  EXPECT_NE(hdr.find("@PG\tID:mem2"), std::string::npos);
+}
+
+TEST(IndexIo, SaveLoadRoundTrip) {
+  seq::GenomeConfig cfg;
+  cfg.contig_lengths = {4000, 1000};
+  cfg.seed = 77;
+  auto index = index::Mem2Index::build(seq::simulate_genome(cfg));
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mem2_test.m2i").string();
+  index::save_index(path, index);
+  const auto loaded = index::load_index(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.ref().length(), index.ref().length());
+  ASSERT_EQ(loaded.ref().contigs().size(), 2u);
+  EXPECT_EQ(loaded.ref().contigs()[1].name, index.ref().contigs()[1].name);
+  for (idx_t i = 0; i < index.ref().length(); ++i)
+    ASSERT_EQ(loaded.ref().base(i), index.ref().base(i));
+
+  EXPECT_EQ(loaded.fm128().primary(), index.fm128().primary());
+  EXPECT_EQ(loaded.fm128().seq_len(), index.fm128().seq_len());
+  for (int c = 0; c <= 4; ++c)
+    EXPECT_EQ(loaded.fm128().cum(c), index.fm128().cum(c));
+
+  // Spot-check SAL equality on both paths.
+  for (idx_t r = 0; r <= index.seq_len(); r += 97) {
+    ASSERT_EQ(loaded.sa_lookup_flat(r), index.sa_lookup_flat(r));
+    ASSERT_EQ(loaded.sa_lookup_baseline(r), index.sa_lookup_baseline(r));
+  }
+}
+
+}  // namespace
+}  // namespace mem2::io

@@ -1,0 +1,88 @@
+// SAL kernel: sampled (baseline) and flat (optimized) lookups must agree
+// with the raw suffix array for every row — the paper's identical-output
+// requirement for the 183x-speedup kernel — across sampling intervals.
+#include <gtest/gtest.h>
+
+#include "index/bwt.h"
+#include "index/flat_sa.h"
+#include "index/sais.h"
+#include "index/sampled_sa.h"
+#include "seq/genome_sim.h"
+#include "util/rng.h"
+
+namespace mem2::index {
+namespace {
+
+struct SalFixture {
+  std::vector<idx_t> sa;
+  FmIndexCp128 fm;
+
+  explicit SalFixture(std::int64_t len, std::uint64_t seed) {
+    const auto genome = seq::random_genome(len, seed);
+    std::vector<seq::Code> fwd(static_cast<std::size_t>(genome.length()));
+    genome.pac().extract(0, fwd.size(), fwd.data());
+    const auto text = with_reverse_complement(fwd);
+    sa = build_suffix_array(text);
+    const auto bwt = derive_bwt(text, sa);
+    fm.build(bwt);
+    fm.store_raw_bwt(bwt);
+  }
+};
+
+class SampledSaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampledSaTest, LookupMatchesRawSaEverywhere) {
+  SalFixture fx(3000, 13);
+  SampledSA128 sal;
+  sal.build(fx.sa, GetParam());
+  for (std::size_t r = 0; r < fx.sa.size(); ++r)
+    ASSERT_EQ(sal.lookup(fx.fm, static_cast<idx_t>(r)), fx.sa[r]) << "row " << r;
+}
+
+// The paper's baseline uses compression factor up to 128; sweep the range.
+INSTANTIATE_TEST_SUITE_P(Intervals, SampledSaTest,
+                         ::testing::Values(2, 8, 32, 64, 128));
+
+TEST(FlatSa, LookupIsIdentity) {
+  SalFixture fx(2000, 19);
+  FlatSA flat;
+  flat.build(fx.sa);
+  for (std::size_t r = 0; r < fx.sa.size(); ++r)
+    ASSERT_EQ(flat.lookup(static_cast<idx_t>(r)), fx.sa[r]);
+  EXPECT_EQ(flat.memory_bytes(), fx.sa.size() * sizeof(idx_t));
+}
+
+TEST(SampledSa, RejectsNonPowerOfTwoInterval) {
+  SampledSA128 sal;
+  std::vector<idx_t> sa = {3, 2, 1, 0};
+  EXPECT_THROW(sal.build(sa, 3), mem2::invariant_error);
+}
+
+TEST(SampledSa, LfWalkCostGrowsWithInterval) {
+  // Structural property behind Table 5: average LF steps ~ (d-1)/2, so the
+  // instruction-count proxy grows with the compression factor.
+  SalFixture fx(4000, 23);
+  util::Xoshiro256ss rng(1);
+  std::vector<idx_t> rows(2000);
+  for (auto& r : rows) r = static_cast<idx_t>(rng.below(fx.sa.size()));
+
+  auto steps_for = [&](int interval) {
+    SampledSA128 sal;
+    sal.build(fx.sa, interval);
+    auto& ctr = util::tls_counters();
+    const auto before = ctr.sa_lf_steps;
+    for (idx_t r : rows) sal.lookup(fx.fm, r);
+    return ctr.sa_lf_steps - before;
+  };
+
+  const auto steps32 = steps_for(32);
+  const auto steps128 = steps_for(128);
+  EXPECT_GT(steps128, steps32 * 3);  // ~4x expected
+  // Hitting a row divisible by d during the walk is ~geometric with mean d.
+  const double avg128 = static_cast<double>(steps128) / static_cast<double>(rows.size());
+  EXPECT_GT(avg128, 64.0);
+  EXPECT_LT(avg128, 192.0);
+}
+
+}  // namespace
+}  // namespace mem2::index

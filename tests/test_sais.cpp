@@ -1,0 +1,107 @@
+// Suffix-array construction: SA-IS vs naive comparison sort, plus
+// structural invariants (permutation, sorted suffixes) as property tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "index/sais.h"
+#include "seq/dna.h"
+#include "seq/genome_sim.h"
+#include "util/rng.h"
+
+namespace mem2::index {
+namespace {
+
+std::vector<seq::Code> codes_of(const char* s) { return seq::encode(s); }
+
+TEST(Sais, EmptyText) {
+  const auto sa = build_suffix_array({});
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0);
+}
+
+TEST(Sais, SingleBase) {
+  const auto sa = build_suffix_array(codes_of("A"));
+  ASSERT_EQ(sa.size(), 2u);
+  EXPECT_EQ(sa[0], 1);  // sentinel suffix
+  EXPECT_EQ(sa[1], 0);
+}
+
+TEST(Sais, PaperExample) {
+  // Figure 1 of the paper: R = ATACGAC, suffix array of R$ is
+  // S = [7, 5, 2, 0, 6, 3, 4, 1] (0-based; row 0 is $).
+  const auto sa = build_suffix_array(codes_of("ATACGAC"));
+  const std::vector<idx_t> expect = {7, 5, 2, 0, 6, 3, 4, 1};
+  EXPECT_EQ(sa, expect);
+}
+
+TEST(Sais, MatchesNaiveOnHandCases) {
+  for (const char* s :
+       {"A", "AC", "CA", "AAAA", "ACGT", "TTTTTTTT", "ACGTACGTACGT",
+        "GATTACA", "CCCTAACCCTAACCCTAA", "ATATATATATATATA"}) {
+    const auto text = codes_of(s);
+    EXPECT_EQ(build_suffix_array(text), build_suffix_array_naive(text)) << s;
+  }
+}
+
+class SaisRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaisRandomTest, MatchesNaiveOnRandomText) {
+  util::Xoshiro256ss rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 1 + rng.below(400);
+  std::vector<seq::Code> text(n);
+  for (auto& c : text) c = static_cast<seq::Code>(rng.below(4));
+  EXPECT_EQ(build_suffix_array(text), build_suffix_array_naive(text));
+}
+
+TEST_P(SaisRandomTest, MatchesNaiveOnRepetitiveText) {
+  // Repetitive inputs exercise the SA-IS recursion (non-unique LMS names).
+  util::Xoshiro256ss rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::size_t unit_len = 1 + rng.below(6);
+  std::vector<seq::Code> unit(unit_len);
+  for (auto& c : unit) c = static_cast<seq::Code>(rng.below(4));
+  std::vector<seq::Code> text;
+  const std::size_t copies = 2 + rng.below(60);
+  for (std::size_t r = 0; r < copies; ++r)
+    text.insert(text.end(), unit.begin(), unit.end());
+  EXPECT_EQ(build_suffix_array(text), build_suffix_array_naive(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaisRandomTest, ::testing::Range(0, 25));
+
+TEST(Sais, LargeTextInvariants) {
+  const auto ref = seq::random_genome(200000, 11);
+  std::vector<seq::Code> text(static_cast<std::size_t>(ref.length()));
+  ref.pac().extract(0, text.size(), text.data());
+
+  const auto sa = build_suffix_array(text);
+  ASSERT_EQ(sa.size(), text.size() + 1);
+  EXPECT_EQ(sa[0], static_cast<idx_t>(text.size()));
+
+  // Permutation of [0, n].
+  std::vector<bool> seen(sa.size(), false);
+  for (idx_t v : sa) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(static_cast<std::size_t>(v), sa.size());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+
+  // Adjacent suffixes are in order (compare a bounded prefix; equality over
+  // the bound would imply a tie that the sentinel breaks by length).
+  auto leq = [&](idx_t a, idx_t b) {
+    const idx_t n = static_cast<idx_t>(text.size());
+    while (a < n && b < n) {
+      if (text[static_cast<std::size_t>(a)] != text[static_cast<std::size_t>(b)])
+        return text[static_cast<std::size_t>(a)] < text[static_cast<std::size_t>(b)];
+      ++a;
+      ++b;
+    }
+    return a == n;
+  };
+  for (std::size_t r = 1; r < sa.size(); ++r)
+    ASSERT_TRUE(leq(sa[r - 1], sa[r])) << "rows " << r - 1 << "," << r;
+}
+
+}  // namespace
+}  // namespace mem2::index

@@ -1,0 +1,173 @@
+// util module: arena allocator, radix sort, RNG determinism, ISA dispatch,
+// stage timers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "util/arena.h"
+#include "util/cpu_features.h"
+#include "util/radix_sort.h"
+#include "util/rng.h"
+#include "util/sw_counters.h"
+#include "util/timer.h"
+
+namespace mem2::util {
+namespace {
+
+TEST(Arena, AllocatesDistinctWritableBlocks) {
+  Arena arena(1 << 12);
+  auto* a = arena.allocate_array<int>(100);
+  auto* b = arena.allocate_array<int>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    a[i] = i;
+    b[i] = -i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], -i);
+  }
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 8u, 64u, 4096u}) {
+    void* p = arena.allocate(13, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(Arena, ResetReusesMemoryWithoutSystemAllocations) {
+  Arena arena(1 << 16);
+  arena.allocate(1 << 15);
+  arena.allocate(1 << 15);
+  const auto allocs_before = arena.system_allocations();
+  const auto reserved = arena.bytes_reserved();
+  for (int batch = 0; batch < 50; ++batch) {
+    arena.reset();
+    arena.allocate(1 << 15);
+    arena.allocate(1 << 15);
+  }
+  // The paper's point (§3.2): after warm-up, batches must not touch the
+  // system allocator.
+  EXPECT_EQ(arena.system_allocations(), allocs_before);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(1 << 10);
+  auto* p = arena.allocate_array<char>(1 << 20);
+  std::memset(p, 0xab, 1 << 20);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(Arena, RejectsBadAlignment) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate(8, 3), invariant_error);
+}
+
+TEST(ArenaAllocator, WorksWithStdVector) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RadixSort, SortsIndicesStably) {
+  std::vector<std::uint32_t> keys = {5, 3, 5, 1, 9, 3, 0};
+  std::vector<std::uint32_t> perm = {0, 1, 2, 3, 4, 5, 6};
+  radix_sort_indices(keys, perm);
+  const std::vector<std::uint32_t> expect = {6, 3, 1, 5, 0, 2, 4};
+  EXPECT_EQ(perm, expect);  // stability: 1 before 5 (keys 3), 0 before 2 (keys 5)
+}
+
+class RadixSortRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixSortRandom, MatchesStdStableSort) {
+  Xoshiro256ss rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = rng.below(5000);
+  std::vector<std::uint32_t> keys(n);
+  const std::uint32_t key_range =
+      GetParam() % 2 ? 300u : 0xffffffffu;  // short keys vs full width
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(key_range + 1ull));
+  std::vector<std::uint32_t> perm(n), expect(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = expect[i] = i;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+  radix_sort_indices(keys, perm);
+  EXPECT_EQ(perm, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadixSortRandom, ::testing::Range(0, 12));
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+  }
+}
+
+TEST(Rng, UniformCoversUnitInterval) {
+  Xoshiro256ss rng(4);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(CpuFeatures, ParseRoundTrips) {
+  EXPECT_EQ(parse_isa("scalar"), Isa::kScalar);
+  EXPECT_EQ(parse_isa("AVX2"), Isa::kAvx2);
+  EXPECT_EQ(parse_isa("avx512"), Isa::kAvx512);
+  EXPECT_THROW(parse_isa("sse9"), std::invalid_argument);
+}
+
+TEST(CpuFeatures, CapBoundsDispatch) {
+  const Isa detected = detect_isa();
+  set_isa_cap(Isa::kScalar);
+  EXPECT_EQ(dispatch_isa(), Isa::kScalar);
+  set_isa_cap(Isa::kAvx512);
+  EXPECT_EQ(dispatch_isa(), detected);
+}
+
+TEST(StageTimes, AccumulatesAndTotals) {
+  StageTimes t;
+  t[Stage::kSmem] = 1.0;
+  t[Stage::kBsw] = 2.5;
+  StageTimes u;
+  u[Stage::kSmem] = 0.5;
+  t += u;
+  EXPECT_DOUBLE_EQ(t[Stage::kSmem], 1.5);
+  EXPECT_DOUBLE_EQ(t.total(), 4.0);
+  EXPECT_EQ(stage_name(Stage::kSal), "SAL");
+}
+
+TEST(SwCounters, AggregationAndReset) {
+  SwCounters a, b;
+  a.occ_bucket_loads = 5;
+  b.occ_bucket_loads = 7;
+  b.bsw_cells_total = 11;
+  a += b;
+  EXPECT_EQ(a.occ_bucket_loads, 12u);
+  EXPECT_EQ(a.bsw_cells_total, 11u);
+  a.reset();
+  EXPECT_EQ(a.occ_bucket_loads, 0u);
+  EXPECT_NE(a.summary().find("occ_bucket_loads=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mem2::util
