@@ -9,7 +9,10 @@
 // Table 7 (paper): instructions 1385G -> 100G (13.85x), IPC 3.14 -> 2.17.
 // Without VTune we report the software proxies (DP cells, useful fraction)
 // plus perf_event counters when the container allows them.
+#include <thread>
+
 #include "bench_common.h"
+#include "bsw/bsw_executor.h"
 #include "job_harvest.h"
 #include "util/perf_counters.h"
 
@@ -24,14 +27,7 @@ struct Run {
   std::uint64_t checksum = 0;
 };
 
-std::uint64_t checksum(const std::vector<bsw::KswResult>& rs) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const auto& r : rs) {
-    h = (h ^ static_cast<std::uint64_t>(r.score)) * 1099511628211ull;
-    h = (h ^ static_cast<std::uint64_t>(r.qle * 131 + r.tle)) * 1099511628211ull;
-  }
-  return h;
-}
+using bench::ksw_checksum;
 
 Run run_scalar(const std::vector<bsw::ExtendJob>& jobs, const bsw::KswParams& p) {
   util::tls_counters().reset();
@@ -45,7 +41,25 @@ Run run_scalar(const std::vector<bsw::ExtendJob>& jobs, const bsw::KswParams& p)
   run.hw = perf.stop();
   run.seconds = t.seconds();
   run.ctr = util::tls_counters();
-  run.checksum = checksum(out);
+  run.checksum = ksw_checksum(out);
+  return run;
+}
+
+Run run_executor(const std::vector<bsw::ExtendJob>& jobs, const bsw::KswParams& p,
+                 int threads) {
+  util::tls_counters().reset();
+  bsw::BswExecutor ex(threads);
+  std::vector<bsw::KswResult> out;
+  ex.run(jobs, out, p, {}, nullptr);  // warm the persistent workspace
+  Run run;
+  run.seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {  // steady state: no allocations
+    util::Timer t;
+    ex.run(jobs, out, p, {}, nullptr);
+    run.seconds = std::min(run.seconds, t.seconds());
+  }
+  run.ctr = util::tls_counters();
+  run.checksum = ksw_checksum(out);
   return run;
 }
 
@@ -64,7 +78,7 @@ Run run_simd(const std::vector<bsw::ExtendJob>& jobs, const bsw::KswParams& p,
   run.hw = perf.stop();
   run.seconds = t.seconds();
   run.ctr = util::tls_counters();
-  run.checksum = checksum(out);
+  run.checksum = ksw_checksum(out);
   return run;
 }
 
@@ -80,10 +94,7 @@ int main() {
 
   // Replicate each job list a few times so kernel time dominates setup at
   // the default scale.
-  {
-    const std::size_t base = jobs.size();
-    while (jobs.size() < base * 4) jobs.insert(jobs.end(), jobs.begin(), jobs.begin() + static_cast<std::ptrdiff_t>(base));
-  }
+  bench::replicate_jobs(jobs, 4);
 
   std::vector<bsw::ExtendJob> jobs8;
   for (const auto& j : jobs)
@@ -123,6 +134,45 @@ int main() {
                    {bench::fmt(v16_nosort.seconds / v16_sort.seconds, 2) + "x", ""});
   bench::print_row("sorting benefit 8-bit (paper 1.7x)",
                    {bench::fmt(v8_nosort.seconds / v8_sort.seconds, 2) + "x", ""});
+
+  // Parallel executor vs the serial batched path, same auto-split job pool.
+  {
+    const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    bench::print_header("BswExecutor: parallel chunk dispatch vs serial extend_batch (hw threads: " +
+                        std::to_string(hw) + ")");
+    // Same protocol as run_executor (warm-up + best of 3) so the
+    // comparison is symmetric.
+    Run serial;
+    {
+      std::vector<bsw::KswResult> out;
+      bsw::extend_batch(jobs, out, mopt.ksw);  // warm the shim's workspace
+      serial.seconds = 1e30;
+      for (int rep = 0; rep < 3; ++rep) {
+        util::Timer t;
+        bsw::extend_batch(jobs, out, mopt.ksw);
+        serial.seconds = std::min(serial.seconds, t.seconds());
+      }
+      serial.checksum = ksw_checksum(out);
+    }
+    bench::print_row("Configuration", {"time (s)", "speedup", "identical"});
+    bench::print_row("serial extend_batch", {bench::fmt(serial.seconds, 3), "1.00x", "-"});
+    std::vector<int> sweep = {1, 2, 4};
+    if (hw > 4) sweep.push_back(hw);
+    bool all_identical = true;
+    for (int threads : sweep) {
+      const Run r = run_executor(jobs, mopt.ksw, threads);
+      const bool same = r.checksum == serial.checksum;
+      all_identical &= same;
+      bench::print_row(("executor x" + std::to_string(threads)).c_str(),
+                       {bench::fmt(r.seconds, 3),
+                        bench::fmt(serial.seconds / r.seconds, 2) + "x",
+                        same ? "yes" : "NO"});
+    }
+    if (!all_identical) {
+      std::printf("ERROR: executor results differ from serial extend_batch!\n");
+      return 1;
+    }
+  }
 
   bench::print_header("Table 7: BSW instruction profile, scalar vs 8-bit SIMD");
   bench::print_row("Counter", {"scalar", "8-bit SIMD"});

@@ -90,6 +90,28 @@ inline Dataset bench_dataset(const index::Mem2Index& index, int which) {
   return {spec.name, seq::simulate_reads(index.ref(), cfg), spec.read_length};
 }
 
+// ------------------------------------------------------------- bsw helpers
+
+/// FNV-1a over (score, qle, tle) — the cross-bench identity check for BSW
+/// result sets; every bench comparing engines/executors must hash the same
+/// fields, so keep the one definition here.
+inline std::uint64_t ksw_checksum(const std::vector<bsw::KswResult>& rs) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& r : rs) {
+    h = (h ^ static_cast<std::uint64_t>(r.score)) * 1099511628211ull;
+    h = (h ^ static_cast<std::uint64_t>(r.qle * 131 + r.tle)) * 1099511628211ull;
+  }
+  return h;
+}
+
+/// Grow a job list to `factor` copies of itself so kernel time dominates
+/// setup.  Index-based: inserting a vector's own iterator range is UB.
+inline void replicate_jobs(std::vector<bsw::ExtendJob>& jobs, std::size_t factor) {
+  const std::size_t base = jobs.size();
+  jobs.reserve(base * factor);
+  while (jobs.size() < base * factor) jobs.push_back(jobs[jobs.size() - base]);
+}
+
 // ---------------------------------------------------------------- printing
 
 inline void print_header(const std::string& title) {

@@ -1,20 +1,59 @@
 // Figure 4 reproduction: thread scaling of the three kernels and of the
-// whole application, original vs optimized, on the D1 and D5 analogs.
+// whole application, original vs optimized, on the D1 and D5 analogs —
+// plus a dedicated BSW-thread sweep of the parallel BswExecutor against
+// the serial extend_batch path, emitted as BENCH_bsw_scaling.json so the
+// perf trajectory is machine-readable.
 //
 // Paper reference: near-linear kernel scaling to 28 cores; whole-app
 // scaling 20-22x because the unoptimized Misc components are bandwidth
 // bound.  NOTE: this container exposes few (often 1) hardware threads; the
-// sweep still runs and EXPERIMENTS.md records how the curve degenerates —
+// sweep still runs and the JSON records how the curve degenerates —
 // thread counts beyond the hardware merely oversubscribe.
+#include <algorithm>
+#include <cstdio>
 #include <thread>
 
 #include "bench_common.h"
+#include "bsw/bsw_executor.h"
+#include "job_harvest.h"
 
 using namespace mem2;
 
+namespace {
+
+using bench::ksw_checksum;
+
+struct SweepPoint {
+  int threads;
+  double seconds;
+  std::uint64_t checksum;
+};
+
+/// BswExecutor thread sweep on harvested jobs; returns one point per count.
+std::vector<SweepPoint> sweep_bsw_threads(const std::vector<bsw::ExtendJob>& jobs,
+                                          const bsw::KswParams& params,
+                                          const std::vector<int>& counts) {
+  std::vector<SweepPoint> points;
+  for (int threads : counts) {
+    bsw::BswExecutor ex(threads);
+    std::vector<bsw::KswResult> out;
+    ex.run(jobs, out, params);  // warm-up: grows the persistent workspace
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Timer t;
+      ex.run(jobs, out, params);
+      best = std::min(best, t.seconds());
+    }
+    points.push_back({threads, best, ksw_checksum(out)});
+  }
+  return points;
+}
+
+}  // namespace
+
 int main() {
   const auto index = bench::bench_index();
-  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   std::vector<int> thread_counts = {1};
   for (int t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
   if (thread_counts.back() != hw) thread_counts.push_back(hw);
@@ -49,13 +88,18 @@ int main() {
         base_opt = w_opt;
         base_stages = s_opt.stages;
       }
-      // Kernel scaling uses accumulated per-thread stage CPU time converted
-      // to wall estimate (stage_time / threads), matching how the paper's
-      // per-kernel scaling is measured inside the running application.
+      // SMEM/SAL accumulate per-thread CPU time inside parallel-for regions,
+      // so the wall estimate is stage_time / threads.  BSW is a wall-clock
+      // measurement of the (internally parallel) pooled rounds on the master
+      // thread — its ratio is direct.
       auto spd = [&](util::Stage s) {
         const double w1 = base_stages[s];
         const double wt = s_opt.stages[s] / threads;
         return wt > 0 ? w1 / wt : 0.0;
+      };
+      auto spd_wall = [&](util::Stage s) {
+        const double wt = s_opt.stages[s];
+        return wt > 0 ? base_stages[s] / wt : 0.0;
       };
       bench::print_row(std::to_string(threads).c_str(),
                        {bench::fmt(w_orig, 2), bench::fmt(w_opt, 2),
@@ -63,7 +107,75 @@ int main() {
                         bench::fmt(base_opt / w_opt, 2) + "x",
                         bench::fmt(spd(util::Stage::kSmem), 2) + "x",
                         bench::fmt(spd(util::Stage::kSal), 2) + "x",
-                        bench::fmt(spd(util::Stage::kBsw), 2) + "x"});
+                        bench::fmt(spd_wall(util::Stage::kBsw), 2) + "x"});
+    }
+  }
+
+  // --- BswExecutor thread sweep -> BENCH_bsw_scaling.json ---
+  {
+    align::MemOptions mopt;
+    const auto d3 = bench::bench_dataset(index, 2);
+    auto harvested = bench::harvest_bsw_jobs(index, d3.reads, mopt);
+    auto& jobs = harvested.jobs;
+    bench::replicate_jobs(jobs, 4);
+
+    double serial_seconds = 1e30;
+    std::uint64_t serial_checksum = 0;
+    {
+      std::vector<bsw::KswResult> out;
+      bsw::extend_batch(jobs, out, mopt.ksw);  // warm-up
+      for (int rep = 0; rep < 3; ++rep) {
+        util::Timer t;
+        bsw::extend_batch(jobs, out, mopt.ksw);
+        serial_seconds = std::min(serial_seconds, t.seconds());
+      }
+      serial_checksum = ksw_checksum(out);
+    }
+
+    std::vector<int> counts = {1, 2, 4};
+    if (hw > 4) counts.push_back(hw);
+    const auto points = sweep_bsw_threads(jobs, mopt.ksw, counts);
+
+    bench::print_header("BswExecutor thread sweep (" + std::to_string(jobs.size()) +
+                        " harvested jobs, serial extend_batch " +
+                        bench::fmt(serial_seconds, 3) + "s)");
+    bench::print_row("threads", {"time (s)", "speedup", "identical"});
+    bool all_identical = true;
+    for (const SweepPoint& pt : points) {
+      const bool same = pt.checksum == serial_checksum;
+      all_identical &= same;
+      bench::print_row(std::to_string(pt.threads).c_str(),
+                       {bench::fmt(pt.seconds, 3),
+                        bench::fmt(serial_seconds / pt.seconds, 2) + "x",
+                        same ? "yes" : "NO"});
+    }
+
+    if (std::FILE* f = std::fopen("BENCH_bsw_scaling.json", "w")) {
+      std::fprintf(f, "{\n  \"bench\": \"bsw_scaling\",\n");
+      std::fprintf(f, "  \"jobs\": %zu,\n", jobs.size());
+      std::fprintf(f, "  \"hw_threads\": %d,\n", hw);
+      std::fprintf(f, "  \"serial_extend_batch_seconds\": %.6f,\n", serial_seconds);
+      std::fprintf(f, "  \"serial_checksum\": \"%016llx\",\n",
+                   static_cast<unsigned long long>(serial_checksum));
+      std::fprintf(f, "  \"all_checksums_identical\": %s,\n",
+                   all_identical ? "true" : "false");
+      std::fprintf(f, "  \"sweep\": [\n");
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint& pt = points[i];
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"seconds\": %.6f, \"speedup\": %.3f, "
+                     "\"checksum\": \"%016llx\"}%s\n",
+                     pt.threads, pt.seconds, serial_seconds / pt.seconds,
+                     static_cast<unsigned long long>(pt.checksum),
+                     i + 1 < points.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("\nwrote BENCH_bsw_scaling.json\n");
+    }
+    if (!all_identical) {
+      std::printf("ERROR: executor results differ from serial extend_batch!\n");
+      return 1;
     }
   }
   return 0;

@@ -6,6 +6,7 @@ std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
                                        const std::vector<seq::Read>& reads,
                                        const DriverOptions& options,
                                        DriverStats* stats) {
+  validate_options(options.mem);
   std::vector<std::vector<io::SamRecord>> per_read;
   if (options.mode == Mode::kBaseline)
     align_reads_baseline(index, reads, options, per_read, stats);

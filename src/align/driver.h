@@ -36,6 +36,13 @@ struct DriverOptions {
   int batch_size = 512;  // reads per batch (batch mode)
   bool prefetch = true;  // software prefetch in SMEM (batch mode)
   bsw::BswBatchOptions bsw;  // sorting / ISA for the SIMD engine
+  /// OpenMP threads for the pooled BSW rounds (enumeration + chunk
+  /// dispatch); 0 follows `threads`.  Output is invariant across values.
+  int bsw_threads = 0;
+
+  int effective_bsw_threads() const {
+    return bsw_threads > 0 ? bsw_threads : threads;
+  }
 };
 
 struct DriverStats {

@@ -1,3 +1,22 @@
-// MemOptions is header-only; this TU anchors the module in the build and
-// will host option parsing/validation helpers as they grow.
+// Option validation shared by both drivers: fail fast on combinations the
+// kernels cannot represent instead of mis-scoring silently.
 #include "align/options.h"
+
+#include "util/common.h"
+
+namespace mem2::align {
+
+void validate_options(const MemOptions& opt) {
+  MEM2_REQUIRE(opt.ksw.a > 0, "match score must be positive");
+  MEM2_REQUIRE(opt.ksw.b > 0, "mismatch penalty must be positive");
+  MEM2_REQUIRE(opt.ksw.e_del > 0 && opt.ksw.e_ins > 0,
+               "gap extension penalties must be positive");
+  MEM2_REQUIRE(opt.ksw.o_del >= 0 && opt.ksw.o_ins >= 0,
+               "gap open penalties must be non-negative");
+  MEM2_REQUIRE(opt.w > 0, "band width must be positive");
+  MEM2_REQUIRE(opt.max_band_try >= 1 && opt.max_band_try <= 2,
+               "band tries limited to bwa's MAX_BAND_TRY (2)");
+  MEM2_REQUIRE(opt.seeding.min_seed_len > 0, "min seed length must be positive");
+}
+
+}  // namespace mem2::align

@@ -36,4 +36,8 @@ struct MemOptions {
   }
 };
 
+/// Throws (MEM2_REQUIRE) on option combinations the pipeline cannot honour;
+/// drivers call this once per align_reads invocation.
+void validate_options(const MemOptions& opt);
+
 }  // namespace mem2::align

@@ -3,9 +3,10 @@
 // Reads are processed in batches; each stage runs across the whole batch
 // before the next stage starts.  SMEM uses the CP32 index with software
 // prefetching; SAL is a flat-array load; BSW jobs from *all* reads of the
-// batch are pooled and executed by the inter-task SIMD engine in four
-// rounds (left try-1, left try-2, right try-1, right try-2 — the band-
-// doubling retries of mem_chain2aln).  Because which seeds deserve
+// batch are pooled (enumerated in parallel, spliced in read order) and
+// executed by the OpenMP-parallel BswExecutor in four rounds (left try-1,
+// left try-2, right try-1, right try-2 — the band-doubling retries of
+// mem_chain2aln).  Because which seeds deserve
 // extension only becomes known when earlier seeds' regions exist, the batch
 // driver extends every seed and lets process_chains() replay the original
 // decision logic against the precomputed results — the paper's
@@ -21,6 +22,7 @@
 
 #include "align/driver.h"
 #include "align/sam_format.h"
+#include "bsw/bsw_executor.h"
 #include "util/arena.h"
 
 namespace mem2::align {
@@ -58,6 +60,13 @@ struct JobRef {
   std::uint32_t seed;
   std::uint8_t side;
   std::uint8_t bt;
+};
+
+/// Per-block output of parallel job enumeration; capacity persists across
+/// rounds and batches (§3.2).
+struct JobBlock {
+  std::vector<bsw::ExtendJob> jobs;
+  std::vector<JobRef> refs;
 };
 
 /// Replays extensions out of the per-read table.
@@ -112,8 +121,13 @@ void align_reads_batch(const index::Mem2Index& index,
   util::Arena arena;
   std::vector<bsw::ExtendJob> jobs;
   std::vector<JobRef> refs;
+  std::vector<JobRef> prev_refs;
   std::vector<bsw::KswResult> results;
   std::vector<smem::SmemWorkspace> workspaces(static_cast<std::size_t>(n_threads));
+
+  const int bsw_threads = std::max(1, options.effective_bsw_threads());
+  std::vector<JobBlock> blocks(static_cast<std::size_t>(bsw_threads));
+  bsw::BswExecutor executor(bsw_threads);
 
   util::StageTimes& st0 = thread_stages[0];  // serial-section accounting
 
@@ -201,14 +215,40 @@ void align_reads_batch(const index::Mem2Index& index,
       util::tls_counters().reset();
     }
 
-    // --- BSW stage: four pooled SIMD rounds (serial enumeration, the
-    // engine itself is the hot part) ---
+    // --- BSW stage: four pooled SIMD rounds.  Both halves run parallel:
+    // job enumeration builds contiguous per-block lists spliced in read
+    // order, and the executor dispatches width-aligned chunks across
+    // threads.  The pooled list and every result are bit-identical to the
+    // serial path for any thread count. ---
     {
       util::Timer bsw_timer;
+      // Enumerate items [0, n_items) into per-block job lists built
+      // concurrently, then splice in block order.  Blocks are contiguous
+      // item ranges, so the spliced pool preserves read order exactly.
+      auto enumerate = [&](int n_items, auto&& body) {
+        const int n_blocks = static_cast<int>(blocks.size());
+#pragma omp parallel for schedule(static, 1) num_threads(bsw_threads)
+        for (int b = 0; b < n_blocks; ++b) {
+          JobBlock& jb = blocks[static_cast<std::size_t>(b)];
+          jb.jobs.clear();
+          jb.refs.clear();
+          const int beg = static_cast<int>(
+              static_cast<std::int64_t>(n_items) * b / n_blocks);
+          const int end = static_cast<int>(
+              static_cast<std::int64_t>(n_items) * (b + 1) / n_blocks);
+          for (int k = beg; k < end; ++k) body(k, jb);
+        }
+        jobs.clear();
+        refs.clear();
+        for (const JobBlock& jb : blocks) {
+          jobs.insert(jobs.end(), jb.jobs.begin(), jb.jobs.end());
+          refs.insert(refs.end(), jb.refs.begin(), jb.refs.end());
+        }
+      };
+
       auto run_round = [&]() {
-        results.clear();
-        bsw::extend_batch(jobs, results, options.mem.ksw, options.bsw,
-                          stats ? &stats->bsw_batch : nullptr);
+        executor.run(jobs, results, options.mem.ksw, options.bsw,
+                     stats ? &stats->bsw_batch : nullptr);
         for (std::size_t j = 0; j < jobs.size(); ++j) {
           const JobRef& ref = refs[j];
           auto& entry = states[ref.read].table[ref.chain][ref.seed];
@@ -219,9 +259,7 @@ void align_reads_batch(const index::Mem2Index& index,
       };
 
       // Round L1.
-      jobs.clear();
-      refs.clear();
-      for (int i = 0; i < nb; ++i) {
+      enumerate(nb, [&](int i, JobBlock& jb) {
         ReadState& rs = states[static_cast<std::size_t>(i)];
         ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
         for (std::size_t ci = 0; ci < rs.chains.size(); ++ci)
@@ -230,35 +268,31 @@ void align_reads_batch(const index::Mem2Index& index,
             if (s.qbeg == 0) continue;
             const auto job = make_left_job(ctx, rs.crefs[ci], s, options.mem.w);
             if (job.tlen == 0) continue;
-            jobs.push_back(job);
-            refs.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(ci),
-                            static_cast<std::uint32_t>(si), 0, 0});
+            jb.jobs.push_back(job);
+            jb.refs.push_back({static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(ci),
+                               static_cast<std::uint32_t>(si), 0, 0});
           }
-      }
+      });
       run_round();
 
       // Round L2: band-doubling retries.
-      {
-        std::vector<JobRef> prev_refs = refs;
-        jobs.clear();
-        refs.clear();
-        for (const JobRef& ref : prev_refs) {
-          ReadState& rs = states[ref.read];
-          const auto& e = rs.table[ref.chain][ref.seed];
-          const auto& r1 = e.res[0][0];
-          if (!band_retry_needed(r1.score, -1, r1.max_off, options.mem.w)) continue;
-          ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
-          const chain::Seed& s = rs.chains[ref.chain].seeds[ref.seed];
-          jobs.push_back(make_left_job(ctx, rs.crefs[ref.chain], s, options.mem.w << 1));
-          refs.push_back({ref.read, ref.chain, ref.seed, 0, 1});
-        }
-        run_round();
-      }
+      prev_refs.swap(refs);
+      enumerate(static_cast<int>(prev_refs.size()), [&](int k, JobBlock& jb) {
+        const JobRef& ref = prev_refs[static_cast<std::size_t>(k)];
+        ReadState& rs = states[ref.read];
+        const auto& e = rs.table[ref.chain][ref.seed];
+        const auto& r1 = e.res[0][0];
+        if (!band_retry_needed(r1.score, -1, r1.max_off, options.mem.w)) return;
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        const chain::Seed& s = rs.chains[ref.chain].seeds[ref.seed];
+        jb.jobs.push_back(make_left_job(ctx, rs.crefs[ref.chain], s, options.mem.w << 1));
+        jb.refs.push_back({ref.read, ref.chain, ref.seed, 0, 1});
+      });
+      run_round();
 
       // Round R1.
-      jobs.clear();
-      refs.clear();
-      for (int i = 0; i < nb; ++i) {
+      enumerate(nb, [&](int i, JobBlock& jb) {
         ReadState& rs = states[static_cast<std::size_t>(i)];
         ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
         const int l_query = static_cast<int>(rs.query.size());
@@ -270,35 +304,35 @@ void align_reads_batch(const index::Mem2Index& index,
                 left_final_score(rs.table[ci][si], s, options.mem.ksw.a);
             const auto job = make_right_job(ctx, rs.crefs[ci], s, options.mem.w, sc0);
             if (job.tlen == 0) continue;
-            jobs.push_back(job);
-            refs.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(ci),
-                            static_cast<std::uint32_t>(si), 1, 0});
+            jb.jobs.push_back(job);
+            jb.refs.push_back({static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(ci),
+                               static_cast<std::uint32_t>(si), 1, 0});
           }
-      }
+      });
       run_round();
 
       // Round R2.
-      {
-        std::vector<JobRef> prev_refs = refs;
-        jobs.clear();
-        refs.clear();
-        for (const JobRef& ref : prev_refs) {
-          ReadState& rs = states[ref.read];
-          const chain::Seed& s = rs.chains[ref.chain].seeds[ref.seed];
-          const auto& e = rs.table[ref.chain][ref.seed];
-          const int sc0 = left_final_score(e, s, options.mem.ksw.a);
-          const auto& r1 = e.res[1][0];
-          if (!band_retry_needed(r1.score, sc0, r1.max_off, options.mem.w)) continue;
-          ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
-          jobs.push_back(
-              make_right_job(ctx, rs.crefs[ref.chain], s, options.mem.w << 1, sc0));
-          refs.push_back({ref.read, ref.chain, ref.seed, 1, 1});
-        }
-        run_round();
-      }
+      prev_refs.swap(refs);
+      enumerate(static_cast<int>(prev_refs.size()), [&](int k, JobBlock& jb) {
+        const JobRef& ref = prev_refs[static_cast<std::size_t>(k)];
+        ReadState& rs = states[ref.read];
+        const chain::Seed& s = rs.chains[ref.chain].seeds[ref.seed];
+        const auto& e = rs.table[ref.chain][ref.seed];
+        const int sc0 = left_final_score(e, s, options.mem.ksw.a);
+        const auto& r1 = e.res[1][0];
+        if (!band_retry_needed(r1.score, sc0, r1.max_off, options.mem.w)) return;
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        jb.jobs.push_back(
+            make_right_job(ctx, rs.crefs[ref.chain], s, options.mem.w << 1, sc0));
+        jb.refs.push_back({ref.read, ref.chain, ref.seed, 1, 1});
+      });
+      run_round();
+
       st0[util::Stage::kBsw] += bsw_timer.seconds();
-      // The serial rounds above bumped the master thread's counters; bank
-      // them before the next parallel region resets thread-local state.
+      // The executor reduces worker-thread counters onto this (master)
+      // thread's TLS sink; bank them before the next parallel region
+      // resets thread-local state.
       thread_counters[0] += util::tls_counters();
       util::tls_counters().reset();
     }

@@ -1,69 +1,19 @@
+// Compat shim: the batched-BSW pipeline now lives in BswExecutor
+// (bsw_executor.h).  extend_batch keeps its historical serial semantics by
+// delegating to a thread-local single-threaded executor, whose workspace
+// persists across calls — so even the shim is allocation-free in steady
+// state, fixing the per-call churn the free function used to have.
 #include "bsw/bsw_batch.h"
 
-#include <algorithm>
-
-#include "util/radix_sort.h"
-#include "util/timer.h"
+#include "bsw/bsw_executor.h"
 
 namespace mem2::bsw {
-
-namespace {
-
-void run_group(const std::vector<ExtendJob>& jobs, std::vector<KswResult>& out,
-               std::vector<std::uint32_t>& order, const KswParams& params,
-               const BswBatchOptions& opt, const BswEngine& engine,
-               BswBatchStats* stats) {
-  if (order.empty()) return;
-
-  if (opt.sort_by_length) {
-    util::Timer t;
-    // Two stable passes: minor key tlen, then major key qlen.
-    std::vector<std::uint32_t> tkeys(jobs.size()), qkeys(jobs.size());
-    for (std::uint32_t i : order) {
-      tkeys[i] = static_cast<std::uint32_t>(jobs[i].tlen);
-      qkeys[i] = static_cast<std::uint32_t>(jobs[i].qlen);
-    }
-    util::radix_sort_indices(tkeys, order);
-    util::radix_sort_indices(qkeys, order);
-    if (stats) stats->sort_seconds += t.seconds();
-  }
-
-  std::vector<ExtendJob> chunk(static_cast<std::size_t>(engine.width));
-  std::vector<KswResult> chunk_out(static_cast<std::size_t>(engine.width));
-  for (std::size_t pos = 0; pos < order.size(); pos += static_cast<std::size_t>(engine.width)) {
-    const int n = static_cast<int>(
-        std::min<std::size_t>(static_cast<std::size_t>(engine.width), order.size() - pos));
-    for (int z = 0; z < n; ++z) chunk[static_cast<std::size_t>(z)] = jobs[order[pos + static_cast<std::size_t>(z)]];
-    engine.run(chunk.data(), chunk_out.data(), n, params,
-               stats ? &stats->breakdown : nullptr);
-    for (int z = 0; z < n; ++z) out[order[pos + static_cast<std::size_t>(z)]] = chunk_out[static_cast<std::size_t>(z)];
-    if (stats) ++stats->chunks;
-  }
-}
-
-}  // namespace
 
 void extend_batch(const std::vector<ExtendJob>& jobs, std::vector<KswResult>& out,
                   const KswParams& params, const BswBatchOptions& opt,
                   BswBatchStats* stats) {
-  out.assign(jobs.size(), KswResult{});
-  if (jobs.empty()) return;
-
-  std::vector<std::uint32_t> idx8, idx16;
-  idx8.reserve(jobs.size());
-  for (std::uint32_t i = 0; i < jobs.size(); ++i) {
-    if (!opt.force_16bit && fits_8bit(jobs[i], params))
-      idx8.push_back(i);
-    else
-      idx16.push_back(i);
-  }
-  if (stats) {
-    stats->jobs_8bit += idx8.size();
-    stats->jobs_16bit += idx16.size();
-  }
-
-  run_group(jobs, out, idx8, params, opt, get_engine(opt.isa, Precision::k8bit), stats);
-  run_group(jobs, out, idx16, params, opt, get_engine(opt.isa, Precision::k16bit), stats);
+  thread_local BswExecutor executor(1);
+  executor.run(jobs, out, params, opt, stats);
 }
 
 }  // namespace mem2::bsw

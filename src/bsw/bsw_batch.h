@@ -40,8 +40,11 @@ struct BswBatchStats {
   }
 };
 
-/// Run all jobs; results land in out[i] for jobs[i] regardless of internal
-/// reordering.  Deterministic for a fixed job list and options.
+/// Run all jobs serially; results land in out[i] for jobs[i] regardless of
+/// internal reordering.  Deterministic for a fixed job list and options.
+/// Compat shim over a thread-local single-threaded BswExecutor
+/// (bsw_executor.h) — new code that wants parallel dispatch or explicit
+/// workspace ownership should hold a BswExecutor instead.
 void extend_batch(const std::vector<ExtendJob>& jobs, std::vector<KswResult>& out,
                   const KswParams& params, const BswBatchOptions& options = {},
                   BswBatchStats* stats = nullptr);

@@ -46,6 +46,15 @@ struct BswEngine {
   const char* name = "";
 };
 
+/// Widest lane count over all engines (AVX512 at 8-bit precision).  Lets
+/// executors size per-thread chunk buffers before engine selection.
+inline constexpr int kMaxEngineWidth = 64;
+
+/// Number of width-sized chunks a job group occupies.
+inline std::size_t chunk_count(std::size_t n_jobs, int width) {
+  return (n_jobs + static_cast<std::size_t>(width) - 1) / static_cast<std::size_t>(width);
+}
+
 /// True if the job's score range fits the 8-bit engine without saturation.
 bool fits_8bit(const ExtendJob& job, const KswParams& params);
 

@@ -1,0 +1,129 @@
+#include "bsw/bsw_executor.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "util/radix_sort.h"
+#include "util/timer.h"
+
+namespace mem2::bsw {
+
+void BswExecutor::set_threads(int threads) {
+  threads_ = std::max(1, threads);
+  if (slots_.size() < static_cast<std::size_t>(threads_))
+    slots_.resize(static_cast<std::size_t>(threads_));
+}
+
+std::size_t BswExecutor::workspace_bytes() const {
+  std::size_t bytes = (idx8_.capacity() + idx16_.capacity() + sort_keys_.capacity() +
+                       sort_scratch_.capacity()) *
+                      sizeof(std::uint32_t);
+  for (const ThreadSlot& s : slots_)
+    bytes += s.chunk.capacity() * sizeof(ExtendJob) +
+             s.chunk_out.capacity() * sizeof(KswResult);
+  return bytes;
+}
+
+void BswExecutor::run_group(const ExtendJob* jobs, KswResult* out,
+                            std::vector<std::uint32_t>& order, const KswParams& params,
+                            const BswBatchOptions& opt, const BswEngine& engine,
+                            bool want_stats) {
+  if (order.empty()) return;
+
+  if (opt.sort_by_length) {
+    util::Timer t;
+    // Two stable passes: minor key tlen, then major key qlen.  The key
+    // array is indexed by job id, so it can be refilled between passes.
+    for (std::uint32_t i : order) sort_keys_[i] = static_cast<std::uint32_t>(jobs[i].tlen);
+    util::radix_sort_indices(sort_keys_, order, sort_scratch_);
+    for (std::uint32_t i : order) sort_keys_[i] = static_cast<std::uint32_t>(jobs[i].qlen);
+    util::radix_sort_indices(sort_keys_, order, sort_scratch_);
+    if (want_stats) slots_[0].stats.sort_seconds += t.seconds();
+  }
+
+  MEM2_REQUIRE(engine.width >= 1 && engine.width <= kMaxEngineWidth,
+               "engine width exceeds executor chunk buffers");
+  const std::size_t width = static_cast<std::size_t>(engine.width);
+  const std::size_t n_chunks = chunk_count(order.size(), engine.width);
+  const int team = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads_), n_chunks));
+
+#pragma omp parallel num_threads(team)
+  {
+    const int tid = omp_get_thread_num();
+    ThreadSlot& slot = slots_[static_cast<std::size_t>(tid)];
+    if (slot.chunk.size() < static_cast<std::size_t>(kMaxEngineWidth)) {
+      slot.chunk.resize(static_cast<std::size_t>(kMaxEngineWidth));
+      slot.chunk_out.resize(static_cast<std::size_t>(kMaxEngineWidth));
+    }
+    // Worker threads bump their own TLS counter sink; park the caller's
+    // accumulated counters so the reduction below can restore them plus the
+    // per-thread deltas, leaving the TLS state exactly as a serial run would.
+    const util::SwCounters saved = util::tls_counters();
+    util::tls_counters().reset();
+
+#pragma omp for schedule(dynamic, 1)
+    for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(n_chunks); ++c) {
+      const std::size_t pos = static_cast<std::size_t>(c) * width;
+      const int n = static_cast<int>(std::min(width, order.size() - pos));
+      for (int z = 0; z < n; ++z)
+        slot.chunk[static_cast<std::size_t>(z)] = jobs[order[pos + static_cast<std::size_t>(z)]];
+      engine.run(slot.chunk.data(), slot.chunk_out.data(), n, params,
+                 want_stats ? &slot.stats.breakdown : nullptr);
+      for (int z = 0; z < n; ++z)
+        out[order[pos + static_cast<std::size_t>(z)]] = slot.chunk_out[static_cast<std::size_t>(z)];
+      ++slot.stats.chunks;
+    }
+
+    slot.counters += util::tls_counters();
+    util::tls_counters() = saved;
+  }
+}
+
+void BswExecutor::run(const ExtendJob* jobs, std::size_t n_jobs, KswResult* out,
+                      const KswParams& params, const BswBatchOptions& opt,
+                      BswBatchStats* stats) {
+  std::fill(out, out + n_jobs, KswResult{});
+  if (n_jobs == 0) return;
+  if (slots_.empty()) slots_.resize(1);
+  for (ThreadSlot& s : slots_) s.stats = BswBatchStats{};
+
+  idx8_.clear();
+  idx16_.clear();
+  idx8_.reserve(n_jobs);
+  idx16_.reserve(n_jobs);
+  for (std::uint32_t i = 0; i < n_jobs; ++i) {
+    if (!opt.force_16bit && fits_8bit(jobs[i], params))
+      idx8_.push_back(i);
+    else
+      idx16_.push_back(i);
+  }
+  if (sort_keys_.size() < n_jobs) sort_keys_.resize(n_jobs);
+  if (stats) {
+    stats->jobs_8bit += idx8_.size();
+    stats->jobs_16bit += idx16_.size();
+  }
+
+  run_group(jobs, out, idx8_, params, opt, get_engine(opt.isa, Precision::k8bit),
+            stats != nullptr);
+  run_group(jobs, out, idx16_, params, opt, get_engine(opt.isa, Precision::k16bit),
+            stats != nullptr);
+
+  // Slot-order reduction keeps the aggregate deterministic for a fixed
+  // thread count; the integer counters are thread-count invariant.
+  for (ThreadSlot& s : slots_) {
+    if (stats) *stats += s.stats;
+    util::tls_counters() += s.counters;
+    s.counters.reset();
+  }
+}
+
+void BswExecutor::run(const std::vector<ExtendJob>& jobs, std::vector<KswResult>& out,
+                      const KswParams& params, const BswBatchOptions& opt,
+                      BswBatchStats* stats) {
+  out.resize(jobs.size());
+  run(jobs.data(), jobs.size(), out.data(), params, opt, stats);
+}
+
+}  // namespace mem2::bsw

@@ -14,8 +14,11 @@ namespace mem2::util {
 /// Stable LSD radix sort of `perm` (indices into keys) by keys[perm[i]],
 /// 8 bits per pass.  Runs ceil(key_bits/8) passes where key_bits covers the
 /// maximum key present, so short keys (sequence lengths) take 1-2 passes.
+/// `scratch` is grown to perm.size() and reused — callers on the hot path
+/// (BswExecutor) keep it alive so steady state performs no allocations.
 template <typename Key>
-void radix_sort_indices(const std::vector<Key>& keys, std::vector<std::uint32_t>& perm) {
+void radix_sort_indices(const std::vector<Key>& keys, std::vector<std::uint32_t>& perm,
+                        std::vector<std::uint32_t>& scratch) {
   static_assert(std::is_unsigned_v<Key>, "radix sort requires unsigned keys");
   const std::size_t n = perm.size();
   if (n <= 1) return;
@@ -23,7 +26,7 @@ void radix_sort_indices(const std::vector<Key>& keys, std::vector<std::uint32_t>
   Key max_key = 0;
   for (std::uint32_t i : perm) max_key = keys[i] > max_key ? keys[i] : max_key;
 
-  std::vector<std::uint32_t> scratch(n);
+  if (scratch.size() < n) scratch.resize(n);
   std::uint32_t* src = perm.data();
   std::uint32_t* dst = scratch.data();
 
@@ -38,7 +41,14 @@ void radix_sort_indices(const std::vector<Key>& keys, std::vector<std::uint32_t>
     if ((max_key >> shift) >> 8 == 0) break;
   }
   if (src != perm.data())
-    std::copy(scratch.begin(), scratch.end(), perm.begin());
+    std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(n),
+              perm.begin());
+}
+
+template <typename Key>
+void radix_sort_indices(const std::vector<Key>& keys, std::vector<std::uint32_t>& perm) {
+  std::vector<std::uint32_t> scratch;
+  radix_sort_indices(keys, perm, scratch);
 }
 
 }  // namespace mem2::util

@@ -1,0 +1,143 @@
+// BswExecutor contract: bit-identical to the serial extend_batch path for
+// any thread count, on synthetic pools and on jobs harvested from a real
+// pipeline run; persistent workspace stops growing after the first batch.
+#include <gtest/gtest.h>
+
+#include "bsw/bsw_executor.h"
+#include "job_harvest.h"
+#include "seq/dna.h"
+#include "seq/genome_sim.h"
+#include "seq/read_sim.h"
+#include "util/rng.h"
+
+namespace mem2::bsw {
+namespace {
+
+// Random extension jobs shaped like chain2aln inputs (see test_bsw_simd).
+struct JobPool {
+  std::vector<std::vector<seq::Code>> queries, targets;
+  std::vector<ExtendJob> jobs;
+
+  JobPool(int n, std::uint64_t seed, int min_len = 5, int max_len = 150,
+          double mutate = 0.08) {
+    util::Xoshiro256ss rng(seed);
+    for (int i = 0; i < n; ++i) {
+      const int qlen = min_len + static_cast<int>(rng.below(
+                                     static_cast<std::uint64_t>(max_len - min_len + 1)));
+      std::vector<seq::Code> q(static_cast<std::size_t>(qlen));
+      for (auto& c : q) c = static_cast<seq::Code>(rng.below(4));
+      std::vector<seq::Code> t;
+      for (const auto c : q) {
+        if (rng.chance(mutate / 4)) continue;
+        t.push_back(rng.chance(mutate) ? static_cast<seq::Code>(rng.below(4)) : c);
+      }
+      if (t.empty()) t.push_back(0);
+      queries.push_back(std::move(q));
+      targets.push_back(std::move(t));
+    }
+    for (int i = 0; i < n; ++i) {
+      ExtendJob j;
+      j.query = queries[static_cast<std::size_t>(i)].data();
+      j.qlen = static_cast<int>(queries[static_cast<std::size_t>(i)].size());
+      j.target = targets[static_cast<std::size_t>(i)].data();
+      j.tlen = static_cast<int>(targets[static_cast<std::size_t>(i)].size());
+      j.h0 = 1 + static_cast<int>(rng.below(60));
+      j.w = 5 + static_cast<int>(rng.below(100));
+      jobs.push_back(j);
+    }
+  }
+};
+
+TEST(BswExecutor, MatchesExtendBatchAcrossThreadCounts) {
+  JobPool pool(700, 2024);
+  const KswParams p;
+
+  std::vector<KswResult> expect;
+  BswBatchStats serial_stats;
+  extend_batch(pool.jobs, expect, p, {}, &serial_stats);
+
+  for (int threads : {1, 2, 3, 8}) {
+    BswExecutor ex(threads);
+    std::vector<KswResult> got;
+    BswBatchStats stats;
+    ex.run(pool.jobs, got, p, {}, &stats);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(got[i], expect[i]) << "threads=" << threads << " job " << i;
+    // Integer stats are thread-count invariant: same split, same chunking.
+    EXPECT_EQ(stats.jobs_8bit, serial_stats.jobs_8bit) << threads;
+    EXPECT_EQ(stats.jobs_16bit, serial_stats.jobs_16bit) << threads;
+    EXPECT_EQ(stats.chunks, serial_stats.chunks) << threads;
+  }
+}
+
+TEST(BswExecutor, MatchesAcrossSortForceAndIsaOptions) {
+  JobPool pool(400, 77);
+  const KswParams p;
+  for (bool sort : {false, true}) {
+    for (bool force16 : {false, true}) {
+      BswBatchOptions opt;
+      opt.sort_by_length = sort;
+      opt.force_16bit = force16;
+      std::vector<KswResult> expect;
+      extend_batch(pool.jobs, expect, p, opt, nullptr);
+      BswExecutor ex(4);
+      std::vector<KswResult> got;
+      ex.run(pool.jobs, got, p, opt, nullptr);
+      ASSERT_EQ(got, expect) << "sort=" << sort << " force16=" << force16;
+    }
+  }
+}
+
+TEST(BswExecutor, MatchesExtendBatchOnHarvestedJobs) {
+  // Jobs intercepted from a real pipeline run over a simulated genome — the
+  // same shape of inputs the batch driver pools.
+  seq::GenomeConfig g;
+  g.seed = 99;
+  g.contig_lengths = {80000, 40000};
+  g.repeat_fraction = 0.3;
+  const auto index = index::Mem2Index::build(seq::simulate_genome(g));
+  seq::ReadSimConfig r;
+  r.seed = 424242;
+  r.num_reads = 150;
+  r.read_length = 101;
+  const auto reads = seq::simulate_reads(index.ref(), r);
+
+  align::MemOptions mopt;
+  auto harvested = bench::harvest_bsw_jobs(index, reads, mopt);
+  ASSERT_GT(harvested.jobs.size(), 100u);
+
+  std::vector<KswResult> expect;
+  extend_batch(harvested.jobs, expect, mopt.ksw, {}, nullptr);
+  for (int threads : {1, 2, 8}) {
+    BswExecutor ex(threads);
+    std::vector<KswResult> got;
+    ex.run(harvested.jobs, got, mopt.ksw, {}, nullptr);
+    ASSERT_EQ(got, expect) << "threads=" << threads;
+  }
+}
+
+TEST(BswExecutor, WorkspaceStopsGrowingInSteadyState) {
+  JobPool pool(600, 5150);
+  const KswParams p;
+  BswExecutor ex(2);
+  std::vector<KswResult> out;
+  out.reserve(pool.jobs.size());
+  ex.run(pool.jobs, out, p, {}, nullptr);
+  const std::size_t after_first = ex.workspace_bytes();
+  EXPECT_GT(after_first, 0u);
+  for (int rep = 0; rep < 3; ++rep) ex.run(pool.jobs, out, p, {}, nullptr);
+  EXPECT_EQ(ex.workspace_bytes(), after_first);
+}
+
+TEST(BswExecutor, EmptyBatchAndThreadClamp) {
+  BswExecutor ex(0);  // clamped to 1
+  EXPECT_EQ(ex.threads(), 1);
+  std::vector<ExtendJob> none;
+  std::vector<KswResult> out(3);
+  ex.run(none, out, KswParams{}, {}, nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace mem2::bsw
