@@ -14,12 +14,21 @@
 #include <vector>
 
 #include "align/driver.h"
+#include "align/status.h"
 #include "index/mem2_index.h"
 #include "seq/genome_sim.h"
 #include "seq/read_sim.h"
 #include "util/timer.h"
 
 namespace mem2::bench {
+
+/// Benches must not report numbers measured over a failed session.
+inline void require_ok(const align::Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n", st.message().c_str());
+    std::exit(1);
+  }
+}
 
 inline double bench_scale() {
   if (const char* env = std::getenv("MEM2_BENCH_SCALE")) return std::atof(env);

@@ -9,6 +9,7 @@
 // nearly vanishes from the optimized bars; Misc grows in relative share.
 #include <thread>
 
+#include "align/aligner.h"
 #include "bench_common.h"
 
 using namespace mem2;
@@ -31,13 +32,20 @@ void run_suite(const index::Mem2Index& index, int threads) {
     opt.mode = align::Mode::kBatch;
     opt.threads = threads;
 
+    // Session API: aligners constructed (and validated) outside the timed
+    // region; the timed call is open -> submit -> finish.
+    const align::Aligner aligner_base(index, base);
+    const align::Aligner aligner_opt(index, opt);
+    align::CollectSamSink sink_base, sink_opt;
     align::DriverStats s_base, s_opt;
     util::Timer t;
-    const auto sam_base = align::align_reads(index, ds.reads, base, &s_base);
+    bench::require_ok(aligner_base.align(ds.reads, sink_base, &s_base));
     const double wall_base = t.seconds();
     t.restart();
-    const auto sam_opt = align::align_reads(index, ds.reads, opt, &s_opt);
+    bench::require_ok(aligner_opt.align(ds.reads, sink_opt, &s_opt));
     const double wall_opt = t.seconds();
+    const auto& sam_base = sink_base.records();
+    const auto& sam_opt = sink_opt.records();
 
     // Identity check (the paper's like-for-like replacement property).
     bool identical = sam_base.size() == sam_opt.size();

@@ -10,6 +10,7 @@
 //   SAM-FORM                        2.5%    2.9%
 // The shape to reproduce: SMEM+SAL+BSW >= ~85% of total; BSW share higher
 // on the longer-read D1, SMEM share higher on shorter-read D4.
+#include "align/aligner.h"
 #include "bench_common.h"
 
 using namespace mem2;
@@ -28,8 +29,10 @@ int main() {
   align::DriverStats stats_d1, stats_d4;
   const auto d1 = bench::bench_dataset(index, 0);
   const auto d4 = bench::bench_dataset(index, 3);
-  align::align_reads(index, d1.reads, opt, &stats_d1);
-  align::align_reads(index, d4.reads, opt, &stats_d4);
+  const align::Aligner aligner(index, opt);
+  align::CollectSamSink sink_d1, sink_d4;
+  bench::require_ok(aligner.align(d1.reads, sink_d1, &stats_d1));
+  bench::require_ok(aligner.align(d4.reads, sink_d4, &stats_d4));
 
   const double t1 = stats_d1.stages.total();
   const double t4 = stats_d4.stages.total();

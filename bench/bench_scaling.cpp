@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "align/aligner.h"
 #include "bench_common.h"
 #include "bsw/bsw_executor.h"
 #include "job_harvest.h"
@@ -75,12 +76,15 @@ int main() {
       o_opt.mode = align::Mode::kBatch;
       o_base.threads = o_opt.threads = threads;
 
+      const align::Aligner aligner_base(index, o_base);
+      const align::Aligner aligner_opt(index, o_opt);
+      align::CollectSamSink sink_base, sink_opt;
       align::DriverStats s_base, s_opt;
       util::Timer t;
-      align::align_reads(index, ds.reads, o_base, &s_base);
+      bench::require_ok(aligner_base.align(ds.reads, sink_base, &s_base));
       const double w_orig = t.seconds();
       t.restart();
-      align::align_reads(index, ds.reads, o_opt, &s_opt);
+      bench::require_ok(aligner_opt.align(ds.reads, sink_opt, &s_opt));
       const double w_opt = t.seconds();
 
       if (threads == 1) {

@@ -7,7 +7,7 @@
 //   ./examples/mapping_accuracy
 #include <cstdio>
 
-#include "align/driver.h"
+#include "align/aligner.h"
 #include "seq/genome_sim.h"
 #include "seq/read_sim.h"
 
@@ -36,8 +36,16 @@ int main() {
     align::DriverOptions batch, baseline;
     batch.mode = align::Mode::kBatch;
     baseline.mode = align::Mode::kBaseline;
-    const auto sam = align::align_reads(index, reads, batch);
-    const auto sam_base = align::align_reads(index, reads, baseline);
+    align::CollectSamSink sink, sink_base;
+    for (const auto& st : {align::Aligner(index, batch).align(reads, sink),
+                           align::Aligner(index, baseline).align(reads, sink_base)}) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "alignment failed: %s\n", st.message().c_str());
+        return 1;
+      }
+    }
+    const auto& sam = sink.records();
+    const auto& sam_base = sink_base.records();
 
     bool identical = sam.size() == sam_base.size();
     for (std::size_t i = 0; identical && i < sam.size(); ++i)

@@ -1,15 +1,21 @@
 // mem2_cli — a bwa-mem2-style command-line aligner on the library API.
 //
 //   mem2_cli index <ref.fasta> <out.m2i>
-//   mem2_cli mem [-t threads] [--baseline] [-k minseed] [-T minscore]
-//                <index.m2i> <reads.fastq>            (SAM on stdout)
+//   mem2_cli mem [options] <index.m2i> <reads.fastq>   (SAM on stdout)
 //   mem2_cli simulate <out.fasta> <length> [seed]
 //   mem2_cli wgsim <ref.fasta> <out.fastq> <n> <len> [seed]
+//
+// `mem` streams: reads are pulled from the FASTQ in batch-size chunks and
+// fed to an Aligner session, so peak resident reads/records are bounded by
+// the session's queue — the input file never needs to fit in memory.
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
-#include "align/driver.h"
+#include "align/aligner.h"
 #include "io/fasta.h"
 #include "io/fastq.h"
 #include "seq/genome_sim.h"
@@ -23,10 +29,43 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  mem2_cli index <ref.fasta> <out.m2i>\n"
-      "  mem2_cli mem [-t N] [--baseline] [-k minseed] [-T minscore] <index.m2i> <reads.fq>\n"
+      "  mem2_cli mem [options] <index.m2i> <reads.fq>\n"
+      "      -t N              pipeline worker threads (default 1)\n"
+      "      -b N              reads per batch (default 512)\n"
+      "      --bsw-threads N   BSW-round threads (default: follow -t)\n"
+      "      --baseline        original read-at-a-time driver\n"
+      "      -k N              min seed length\n"
+      "      -T N              min output score\n"
       "  mem2_cli simulate <out.fasta> <length> [seed]\n"
       "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n";
   return 2;
+}
+
+/// strtoll with full-consumption and range checks: "12x", "", overflow and
+/// an empty string all fail instead of silently truncating like atoi.
+bool parse_i64(const char* s, long long& out) {
+  if (!s || !*s) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Parse an integer argument for `flag`, requiring min <= value <= max
+/// (pass INT_MAX for int-typed destinations so huge values error instead
+/// of truncating); prints a usage error naming the flag on garbage
+/// (e.g. `-t foo`).
+bool parse_arg(const char* flag, const char* s, long long min, long long max,
+               long long& out) {
+  if (!parse_i64(s, out) || out < min || out > max) {
+    std::cerr << "mem2_cli: invalid value for " << flag << ": '"
+              << (s ? s : "") << "' (integer in [" << min << ", " << max
+              << "] expected)\n";
+    return false;
+  }
+  return true;
 }
 
 int cmd_index(int argc, char** argv) {
@@ -45,45 +84,82 @@ int cmd_index(int argc, char** argv) {
 
 int cmd_mem(int argc, char** argv) {
   align::DriverOptions opt;
+  long long v = 0;
   int i = 0;
   for (; i < argc && argv[i][0] == '-'; ++i) {
-    if (!std::strcmp(argv[i], "-t") && i + 1 < argc)
-      opt.threads = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "--baseline"))
+    if (!std::strcmp(argv[i], "-t") && i + 1 < argc) {
+      if (!parse_arg("-t", argv[++i], 1, INT_MAX, v)) return usage();
+      opt.threads = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "-b") && i + 1 < argc) {
+      if (!parse_arg("-b", argv[++i], 1, INT_MAX, v)) return usage();
+      opt.batch_size = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--bsw-threads") && i + 1 < argc) {
+      if (!parse_arg("--bsw-threads", argv[++i], 0, INT_MAX, v)) return usage();
+      opt.bsw_threads = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--baseline")) {
       opt.mode = align::Mode::kBaseline;
-    else if (!std::strcmp(argv[i], "-k") && i + 1 < argc)
-      opt.mem.seeding.min_seed_len = std::atoi(argv[++i]);
-    else if (!std::strcmp(argv[i], "-T") && i + 1 < argc)
-      opt.mem.min_out_score = std::atoi(argv[++i]);
-    else
+    } else if (!std::strcmp(argv[i], "-k") && i + 1 < argc) {
+      if (!parse_arg("-k", argv[++i], 1, INT_MAX, v)) return usage();
+      opt.mem.seeding.min_seed_len = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "-T") && i + 1 < argc) {
+      if (!parse_arg("-T", argv[++i], 0, INT_MAX, v)) return usage();
+      opt.mem.min_out_score = static_cast<int>(v);
+    } else {
+      std::cerr << "mem2_cli: unknown option " << argv[i] << '\n';
       return usage();
+    }
   }
   if (argc - i != 2) return usage();
 
   std::cerr << "[mem2] loading index " << argv[i] << "...\n";
   const auto index = index::load_index(argv[i]);
-  std::cerr << "[mem2] reading " << argv[i + 1] << "...\n";
-  const auto reads = io::read_fastq_file(argv[i + 1]);
-  std::cerr << "[mem2] aligning " << reads.size() << " reads ("
+
+  const align::Aligner aligner(index, opt);
+  if (!aligner.ok()) {
+    std::cerr << "mem2_cli: " << aligner.status().message() << '\n';
+    return 2;
+  }
+
+  std::cerr << "[mem2] streaming " << argv[i + 1] << " ("
             << (opt.mode == align::Mode::kBaseline ? "baseline" : "batch")
-            << ", " << opt.threads << " thread(s))...\n";
+            << ", " << opt.effective_workers() << " worker(s), batch "
+            << opt.batch_size << ")...\n";
 
   util::Timer t;
-  align::DriverStats stats;
-  const auto records = align::align_reads(index, reads, opt, &stats);
-  std::cerr << "[mem2] " << records.size() << " records in " << t.seconds()
-            << "s\n";
+  io::FastqStream fastq(argv[i + 1]);
+  align::OstreamSamSink sink(std::cout);
+  align::Stream stream = aligner.open(sink);
 
-  std::cout << align::sam_header_for(index, opt);
-  for (const auto& rec : records) std::cout << rec.to_line() << '\n';
+  // One batch is staged here, at most queue_depth + workers batches are in
+  // flight inside the session: memory stays O(queue_depth × batch_size).
+  std::vector<seq::Read> chunk;
+  while (fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
+    if (const auto st = stream.submit(std::move(chunk)); !st.ok()) {
+      std::cerr << "mem2_cli: " << st.message() << '\n';
+      return 1;
+    }
+    chunk = {};
+  }
+  if (const auto st = stream.finish(); !st.ok()) {
+    std::cerr << "mem2_cli: " << st.message() << '\n';
+    return 1;
+  }
+
+  std::cerr << "[mem2] " << stream.stats().reads << " reads -> "
+            << sink.records_written() << " records in " << t.seconds() << "s\n";
   return 0;
 }
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 2) return usage();
+  long long v = 0;
   seq::GenomeConfig cfg;
-  cfg.contig_lengths = {std::atoll(argv[1])};
-  if (argc > 2) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  if (!parse_arg("<length>", argv[1], 1, LLONG_MAX, v)) return usage();
+  cfg.contig_lengths = {v};
+  if (argc > 2) {
+    if (!parse_arg("[seed]", argv[2], 0, LLONG_MAX, v)) return usage();
+    cfg.seed = static_cast<std::uint64_t>(v);
+  }
   const auto ref = seq::simulate_genome(cfg);
   io::save_reference(argv[0], ref);
   std::cerr << "[mem2] wrote " << ref.length() << " bp to " << argv[0] << '\n';
@@ -92,11 +168,17 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_wgsim(int argc, char** argv) {
   if (argc < 4) return usage();
+  long long v = 0;
   const auto ref = io::load_reference(argv[0]);
   seq::ReadSimConfig cfg;
-  cfg.num_reads = std::atoll(argv[2]);
-  cfg.read_length = std::atoi(argv[3]);
-  if (argc > 4) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  if (!parse_arg("<n_reads>", argv[2], 1, LLONG_MAX, v)) return usage();
+  cfg.num_reads = v;
+  if (!parse_arg("<read_len>", argv[3], 1, INT_MAX, v)) return usage();
+  cfg.read_length = static_cast<int>(v);
+  if (argc > 4) {
+    if (!parse_arg("[seed]", argv[4], 0, LLONG_MAX, v)) return usage();
+    cfg.seed = static_cast<std::uint64_t>(v);
+  }
   io::write_fastq_file(argv[1], seq::simulate_reads(ref, cfg));
   std::cerr << "[mem2] wrote " << cfg.num_reads << " x " << cfg.read_length
             << " bp reads to " << argv[1] << '\n';

@@ -1,10 +1,15 @@
-// Quickstart: simulate a genome, index it, simulate reads, align them, and
-// print the SAM — the whole public API in ~60 lines.
+// Quickstart: simulate a genome, index it, simulate reads, and stream them
+// through an Aligner session — the whole public API in ~60 lines.
+//
+// The streaming core of it is 10 lines: build/load an index, construct an
+// Aligner (options validated here, reported as a Status), open a stream
+// onto a SamSink, submit read chunks, finish.  Records reach the sink in
+// read order while only a bounded number of batches are in flight.
 //
 //   ./examples/quickstart
 #include <iostream>
 
-#include "align/driver.h"
+#include "align/aligner.h"
 #include "seq/genome_sim.h"
 #include "seq/read_sim.h"
 
@@ -24,28 +29,41 @@ int main() {
   std::cerr << "index: " << index.seq_len() << " BW rows, "
             << index.memory_bytes() / (1 << 20) << " MiB\n";
 
-  // 3. Some reads (or io::read_fastq_file("reads.fq")).
+  // 3. Some reads (or stream them with io::FastqStream("reads.fq")).
   seq::ReadSimConfig read_cfg;
   read_cfg.num_reads = 1000;
   read_cfg.read_length = 151;
   const auto reads = seq::simulate_reads(ref, read_cfg);
 
-  // 4. Align, batch mode (the paper's optimized pipeline).
+  // 4. The session: construct once, check the Status, stream chunks.
   align::DriverOptions opt;
   opt.mode = align::Mode::kBatch;
-  align::DriverStats stats;
-  const auto records = align::align_reads(index, reads, opt, &stats);
+  opt.threads = 2;
+  const align::Aligner aligner(index, opt);
+  if (!aligner.ok()) {
+    std::cerr << "bad options: " << aligner.status().message() << '\n';
+    return 1;
+  }
 
-  // 5. SAM to stdout.
-  std::cout << align::sam_header_for(index, opt);
-  for (std::size_t i = 0; i < records.size() && i < 20; ++i)
-    std::cout << records[i].to_line() << '\n';
-  std::cerr << "... (" << records.size() << " records total)\n";
+  // 5. SAM to stdout, in read order, as batches retire.
+  align::OstreamSamSink sink(std::cout);
+  align::Stream stream = aligner.open(sink);  // header written here
+  for (std::size_t i = 0; i < reads.size(); i += 256) {
+    // `reads` outlives finish(), so the zero-copy span submit is safe.
+    const std::size_t n = std::min(reads.size() - i, std::size_t{256});
+    stream.submit(std::span<const seq::Read>(reads.data() + i, n));
+  }
+  if (const auto st = stream.finish(); !st.ok()) {
+    std::cerr << "alignment failed: " << st.message() << '\n';
+    return 1;
+  }
 
+  std::cerr << stream.stats().reads << " reads -> " << sink.records_written()
+            << " records\n";
   std::cerr << "stage seconds:";
   for (int s = 0; s < static_cast<int>(util::Stage::kCount); ++s)
     std::cerr << ' ' << util::stage_name(static_cast<util::Stage>(s)) << '='
-              << stats.stages[static_cast<util::Stage>(s)];
+              << stream.stats().stages[static_cast<util::Stage>(s)];
   std::cerr << '\n';
   return 0;
 }

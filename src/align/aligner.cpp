@@ -1,0 +1,308 @@
+// Streaming session implementation: bounded batch queue with back-pressure,
+// worker pool over persistent BatchWorkspaces, ordered reassembly writer.
+//
+// Concurrency design:
+//   - submit() (producer thread) carves reads into batch_size batches and
+//     enqueues them; the queue holds at most queue_depth batches, so the
+//     producer blocks instead of buffering unbounded input.
+//   - Each worker pops one batch, runs the whole batched pipeline on it via
+//     align_chunk() with its own BatchWorkspace (allocation-free in steady
+//     state), then inserts the flattened records into a reorder buffer
+//     keyed by batch sequence number.  Whichever worker completes the
+//     next-in-order batch drains the buffer to the sink under emit_mu_, so
+//     records always reach the sink in read order and the buffer never
+//     holds more than (queue_depth + workers) batches.
+//   - Errors are sticky: the first failure is recorded, wakes any blocked
+//     producer, and suppresses all further sink writes; finish() reports it.
+//
+// Output is byte-identical to the one-shot path because batch results are
+// independent of chunking (batch-size and thread-count invariance of the
+// drivers, enforced by tests/test_pipeline.cpp).
+#include "align/aligner.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/common.h"
+
+namespace mem2::align {
+
+namespace {
+
+struct WorkItem {
+  std::uint64_t seq = 0;
+  std::vector<seq::Read> owned;        // empty for borrowed (zero-copy) batches
+  std::span<const seq::Read> reads;    // the batch to align; views `owned`
+                                       // or caller memory (span submit)
+};
+
+}  // namespace
+
+struct Stream::Impl {
+  Impl(const index::Mem2Index& index, const DriverOptions& options, SamSink& sink)
+      : index(index), options(options), sink(sink) {}
+
+  const index::Mem2Index& index;
+  const DriverOptions options;
+  SamSink& sink;
+
+  // Producer-side state (submit/finish thread only).
+  std::vector<seq::Read> staging;
+  std::uint64_t next_seq = 0;
+  std::uint64_t reads_submitted = 0;
+  bool finished = false;
+
+  // Bounded batch queue.
+  std::mutex q_mu;
+  std::condition_variable q_not_full;
+  std::condition_variable q_not_empty;
+  std::deque<WorkItem> queue;
+  bool closed = false;
+
+  // Ordered reassembly.
+  std::mutex emit_mu;
+  std::map<std::uint64_t, std::vector<io::SamRecord>> pending;
+  std::uint64_t next_emit = 0;
+
+  // Sticky error + aggregated stats.
+  mutable std::mutex state_mu;
+  std::atomic<bool> failed{false};
+  Status status;
+  DriverStats stats;
+
+  std::vector<std::thread> workers;
+
+  void fail(Status st) {
+    {
+      std::lock_guard<std::mutex> lk(state_mu);
+      if (status.ok()) status = std::move(st);
+    }
+    failed.store(true, std::memory_order_release);
+    q_not_full.notify_all();
+  }
+
+  Status snapshot_status() const {
+    std::lock_guard<std::mutex> lk(state_mu);
+    return status;
+  }
+
+  /// Blocks while the queue is full; refuses once the session has failed.
+  Status enqueue(WorkItem item) {
+    std::unique_lock<std::mutex> lk(q_mu);
+    q_not_full.wait(lk, [&] {
+      return static_cast<int>(queue.size()) < options.queue_depth ||
+             failed.load(std::memory_order_acquire);
+    });
+    if (failed.load(std::memory_order_acquire)) return snapshot_status();
+    item.seq = next_seq++;
+    queue.push_back(std::move(item));
+    lk.unlock();
+    q_not_empty.notify_one();
+    return Status();
+  }
+
+  Status enqueue_owned(std::vector<seq::Read> reads) {
+    WorkItem item;
+    item.owned = std::move(reads);
+    item.reads = item.owned;
+    return enqueue(std::move(item));
+  }
+
+  void worker_main() {
+    BatchWorkspace workspace;
+    DriverOptions wopt = options;
+    // With several workers the parallelism comes from concurrent batches:
+    // each worker runs its batch serially inside.  An explicit bsw_threads
+    // request is still honoured.  With one worker, behave exactly like the
+    // one-shot driver.
+    if (options.effective_workers() > 1) wopt.threads = 1;
+    DriverStats local_stats;
+    std::vector<std::vector<io::SamRecord>> per_read;
+
+    for (;;) {
+      WorkItem item;
+      {
+        std::unique_lock<std::mutex> lk(q_mu);
+        q_not_empty.wait(lk, [&] { return !queue.empty() || closed; });
+        if (queue.empty()) break;
+        item = std::move(queue.front());
+        queue.pop_front();
+      }
+      q_not_full.notify_one();
+      if (failed.load(std::memory_order_acquire)) continue;  // drain only
+
+      try {
+        per_read.clear();
+        align_chunk(index, item.reads, wopt, workspace, per_read, &local_stats);
+
+        std::vector<io::SamRecord> flat;
+        std::size_t total = 0;
+        for (const auto& v : per_read) total += v.size();
+        flat.reserve(total);
+        for (auto& v : per_read)
+          for (auto& rec : v) flat.push_back(std::move(rec));
+
+        // Ordered emit: park the batch, then drain every consecutive
+        // ready batch starting at next_emit.
+        std::lock_guard<std::mutex> lk(emit_mu);
+        pending.emplace(item.seq, std::move(flat));
+        for (auto it = pending.find(next_emit); it != pending.end();
+             it = pending.find(next_emit)) {
+          if (!failed.load(std::memory_order_acquire))
+            sink.write_records(std::move(it->second));
+          pending.erase(it);
+          ++next_emit;
+        }
+      } catch (const std::exception& e) {
+        fail(Status::invalid(e.what()));
+      } catch (...) {
+        fail(Status::invalid("unknown error in alignment worker"));
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(state_mu);
+    stats += local_stats;
+  }
+};
+
+Stream::Stream(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Stream::Stream(Stream&&) noexcept = default;
+Stream& Stream::operator=(Stream&&) noexcept = default;
+
+Stream::~Stream() {
+  if (impl_ && !impl_->finished) finish();
+}
+
+Status Stream::submit(std::vector<seq::Read> chunk) {
+  Impl& im = *impl_;
+  if (im.finished) return Status::invalid("submit() after finish()");
+  // `failed` is set (release) only after `status` is written under
+  // state_mu, so it is the lock-free guard for the sticky error.
+  if (im.failed.load(std::memory_order_acquire)) return im.snapshot_status();
+
+  im.reads_submitted += chunk.size();
+  const auto batch = static_cast<std::size_t>(im.options.batch_size);
+  if (im.staging.capacity() < batch) im.staging.reserve(batch);
+  for (auto& r : chunk) {
+    im.staging.push_back(std::move(r));
+    if (im.staging.size() == batch) {
+      std::vector<seq::Read> full;
+      full.reserve(batch);
+      full.swap(im.staging);
+      if (Status st = im.enqueue_owned(std::move(full)); !st.ok()) return st;
+    }
+  }
+  return Status();
+}
+
+Status Stream::submit(std::span<const seq::Read> chunk) {
+  Impl& im = *impl_;
+  if (im.finished) return Status::invalid("submit() after finish()");
+  if (im.failed.load(std::memory_order_acquire)) return im.snapshot_status();
+
+  im.reads_submitted += chunk.size();
+  const auto batch = static_cast<std::size_t>(im.options.batch_size);
+
+  // Top up a partially staged batch first (copying) to preserve order.
+  while (!im.staging.empty() && !chunk.empty()) {
+    im.staging.push_back(chunk.front());
+    chunk = chunk.subspan(1);
+    if (im.staging.size() == batch) {
+      std::vector<seq::Read> full;
+      full.reserve(batch);
+      full.swap(im.staging);
+      if (Status st = im.enqueue_owned(std::move(full)); !st.ok()) return st;
+    }
+  }
+  // Full batches go in as views of the caller's memory — no copy.
+  while (chunk.size() >= batch) {
+    WorkItem item;
+    item.reads = chunk.first(batch);
+    chunk = chunk.subspan(batch);
+    if (Status st = im.enqueue(std::move(item)); !st.ok()) return st;
+  }
+  // Stage the tail (< batch_size) until more reads arrive or finish().
+  if (!chunk.empty()) {
+    if (im.staging.capacity() < batch) im.staging.reserve(batch);
+    im.staging.insert(im.staging.end(), chunk.begin(), chunk.end());
+  }
+  return Status();
+}
+
+Status Stream::finish() {
+  Impl& im = *impl_;
+  if (im.finished) return im.snapshot_status();
+  im.finished = true;
+
+  if (!im.failed.load(std::memory_order_acquire) && !im.staging.empty())
+    im.enqueue_owned(std::move(im.staging));
+  im.staging.clear();
+
+  {
+    std::lock_guard<std::mutex> lk(im.q_mu);
+    im.closed = true;
+  }
+  im.q_not_empty.notify_all();
+  for (auto& t : im.workers)
+    if (t.joinable()) t.join();
+  im.workers.clear();
+
+  im.stats.reads += im.reads_submitted;
+  if (!im.failed.load(std::memory_order_acquire)) im.sink.flush();
+  return im.snapshot_status();
+}
+
+Status Stream::status() const { return impl_->snapshot_status(); }
+
+const DriverStats& Stream::stats() const { return impl_->stats; }
+
+Aligner::Aligner(const index::Mem2Index& index, DriverOptions options)
+    : index_(index), options_(options) {
+  status_ = validate_driver_options(options_);
+  if (!status_.ok()) return;
+  // Index capability checks, surfaced at construction instead of from a
+  // worker thread mid-stream.
+  if (options_.mode == Mode::kBatch) {
+    if (!index.has_cp32())
+      status_ = Status::invalid("batch driver needs the CP32 index");
+    else if (!index.has_flat_sa())
+      status_ = Status::invalid("batch driver needs the flat SA");
+  } else if (!index.has_cp128()) {
+    status_ = Status::invalid("baseline driver needs the CP128 index");
+  }
+}
+
+std::string Aligner::sam_header() const { return sam_header_for(index_, options_); }
+
+Stream Aligner::open(SamSink& sink) const {
+  auto impl = std::make_unique<Stream::Impl>(index_, options_, sink);
+  impl->status = status_;
+  if (status_.ok()) {
+    sink.write_header(sam_header());
+    const int workers = options_.effective_workers();
+    impl->workers.reserve(static_cast<std::size_t>(workers));
+    Stream::Impl& im = *impl;
+    for (int w = 0; w < workers; ++w)
+      impl->workers.emplace_back([&im] { im.worker_main(); });
+  } else {
+    impl->failed.store(true, std::memory_order_release);
+  }
+  return Stream(std::move(impl));
+}
+
+Status Aligner::align(const std::vector<seq::Read>& reads, SamSink& sink,
+                      DriverStats* stats) const {
+  Stream stream = open(sink);
+  // Zero-copy: `reads` outlives finish() below, so views are safe.
+  const Status submitted = stream.submit(std::span<const seq::Read>(reads));
+  const Status finished = stream.finish();
+  if (stats) *stats += stream.stats();
+  return submitted.ok() ? finished : submitted;
+}
+
+}  // namespace mem2::align

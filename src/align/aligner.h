@@ -1,0 +1,101 @@
+// Streaming Aligner session API — the library's front door.
+//
+// An Aligner is constructed once per (index, options) pair; option
+// validation happens eagerly here and is reported as a Status instead of a
+// mid-run throw.  open() starts a bounded-memory pipelined session:
+//
+//   submit(chunk) ─► [bounded batch queue] ─► worker pool ─► ordered writer ─► SamSink
+//                     back-pressure           one persistent    emits batches
+//                     (queue_depth)           BatchWorkspace    in read order
+//                                             per worker
+//
+// submit() carves incoming reads into batch_size batches and blocks once
+// queue_depth batches are waiting, so at most
+// (queue_depth + workers) × batch_size reads (plus their SAM records) are
+// resident regardless of input size — feed it from io::FastqStream and a
+// whole flow-cell streams through a fixed footprint.  Workers run the
+// existing batch stages (driver.h) over chunks; completed batches pass
+// through a reorder buffer so records reach the sink in read order.  Output
+// is byte-identical to align_reads() for any chunking, queue depth and
+// worker count (tests/test_stream_api.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/driver.h"
+#include "align/sam_sink.h"
+#include "align/status.h"
+
+namespace mem2::align {
+
+/// One in-flight streaming session.  Move-only; created by Aligner::open().
+/// Not thread-safe: one producer thread drives submit()/finish() (the
+/// internal worker pool supplies the parallelism).
+class Stream {
+ public:
+  Stream(Stream&&) noexcept;
+  Stream& operator=(Stream&&) noexcept;
+  /// Implicitly finishes; call finish() explicitly to observe errors.
+  ~Stream();
+
+  /// Enqueue a chunk of reads (any size — batches are carved internally).
+  /// Blocks when the pipeline is full (back-pressure).  Returns the sticky
+  /// session status: once an error occurs, every later call reports it.
+  Status submit(std::vector<seq::Read> chunk);
+
+  /// Zero-copy variant: full batches are enqueued as views into the
+  /// caller's memory, so the reads must stay alive and unmodified until
+  /// finish() returns.  Only a trailing partial batch is copied (staged
+  /// until more reads arrive).  Used by Aligner::align().
+  Status submit(std::span<const seq::Read> chunk);
+
+  /// Flush the final partial batch, drain the pipeline, join the workers
+  /// and flush the sink.  Idempotent; returns the final session status.
+  Status finish();
+
+  /// Current session status (sticky first error).
+  Status status() const;
+
+  /// Aggregated driver stats across all workers; complete after finish().
+  const DriverStats& stats() const;
+
+ private:
+  friend class Aligner;
+  struct Impl;
+  explicit Stream(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A validated (index, options) session factory.  Construction never
+/// throws: check ok()/status() before use; open()/align() on a failed
+/// Aligner return streams/statuses carrying the construction error.
+class Aligner {
+ public:
+  Aligner(const index::Mem2Index& index, DriverOptions options);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const DriverOptions& options() const { return options_; }
+  const index::Mem2Index& index() const { return index_; }
+
+  /// The @PG-bearing SAM header this session emits.
+  std::string sam_header() const;
+
+  /// Open a streaming session writing to `sink`.  Writes the header
+  /// immediately, then spawns options.effective_workers() workers.  The
+  /// sink must outlive the stream.
+  Stream open(SamSink& sink) const;
+
+  /// One-shot convenience: open -> submit(reads) -> finish.
+  Status align(const std::vector<seq::Read>& reads, SamSink& sink,
+               DriverStats* stats = nullptr) const;
+
+ private:
+  const index::Mem2Index& index_;
+  DriverOptions options_;
+  Status status_;
+};
+
+}  // namespace mem2::align

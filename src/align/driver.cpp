@@ -1,26 +1,24 @@
 #include "align/driver.h"
 
+#include "align/aligner.h"
+#include "util/common.h"
+
 namespace mem2::align {
 
+// Compatibility shim over the streaming session: open -> submit once ->
+// finish, collecting into memory.  Validation therefore runs exactly once,
+// at Aligner construction; a non-ok Status is converted back to the throw
+// this API always had.
 std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
                                        const std::vector<seq::Read>& reads,
                                        const DriverOptions& options,
                                        DriverStats* stats) {
-  validate_options(options.mem);
-  std::vector<std::vector<io::SamRecord>> per_read;
-  if (options.mode == Mode::kBaseline)
-    align_reads_baseline(index, reads, options, per_read, stats);
-  else
-    align_reads_batch(index, reads, options, per_read, stats);
-
-  std::vector<io::SamRecord> flat;
-  std::size_t total = 0;
-  for (const auto& v : per_read) total += v.size();
-  flat.reserve(total);
-  for (auto& v : per_read)
-    for (auto& rec : v) flat.push_back(std::move(rec));
-  if (stats) stats->reads += reads.size();
-  return flat;
+  Aligner aligner(index, options);
+  MEM2_REQUIRE(aligner.ok(), aligner.status().message());
+  CollectSamSink sink;
+  const Status st = aligner.align(reads, sink, stats);
+  MEM2_REQUIRE(st.ok(), st.message());
+  return sink.take_records();
 }
 
 std::string sam_header_for(const index::Mem2Index& index, const DriverOptions& options) {

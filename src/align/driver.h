@@ -13,12 +13,21 @@
 // reused across batches.
 //
 // Both produce identical SAM bodies — tests/test_pipeline.cpp enforces it.
+//
+// The chunk-level entry points (BatchWorkspace + align_chunk) let a caller
+// own the cross-batch buffers and feed reads incrementally — the streaming
+// Aligner session (aligner.h) is built on them; align_reads() is a one-shot
+// convenience over that session.
 #pragma once
 
+#include <algorithm>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "align/options.h"
+#include "align/status.h"
 #include "index/mem2_index.h"
 #include "io/sam.h"
 #include "seq/read_sim.h"
@@ -39,9 +48,20 @@ struct DriverOptions {
   /// OpenMP threads for the pooled BSW rounds (enumeration + chunk
   /// dispatch); 0 follows `threads`.  Output is invariant across values.
   int bsw_threads = 0;
+  /// Streaming session (aligner.h): worker threads running whole batches
+  /// concurrently; 0 follows `threads`.  Output is invariant across values.
+  int pipeline_workers = 0;
+  /// Streaming session: bounded depth of the batch queue between submit()
+  /// and the workers — at most (queue_depth + workers) batches are in
+  /// flight, which bounds resident reads/records to
+  /// O((queue_depth + workers) × batch_size).
+  int queue_depth = 4;
 
   int effective_bsw_threads() const {
     return bsw_threads > 0 ? bsw_threads : threads;
+  }
+  int effective_workers() const {
+    return pipeline_workers > 0 ? pipeline_workers : std::max(1, threads);
   }
 };
 
@@ -61,10 +81,54 @@ struct DriverStats {
                      static_cast<double>(extensions_used)
                : 0.0;
   }
+
+  DriverStats& operator+=(const DriverStats& o) {
+    stages += o.stages;
+    counters += o.counters;
+    bsw_batch += o.bsw_batch;
+    reads += o.reads;
+    extensions_computed += o.extensions_computed;
+    extensions_used += o.extensions_used;
+    return *this;
+  }
 };
 
+/// Validates the full driver configuration (MemOptions + threading/batching
+/// knobs).  Returns the first problem found; never throws.
+Status validate_driver_options(const DriverOptions& options);
+
+/// Cross-batch scratch state of the batch driver (read states, arenas, job
+/// pools, the BswExecutor).  Capacity persists across align_chunk() calls,
+/// so a long-lived workspace performs no steady-state allocations; one
+/// workspace serves one thread of chunk execution at a time.
+class BatchWorkspace {
+ public:
+  BatchWorkspace();
+  ~BatchWorkspace();
+  BatchWorkspace(BatchWorkspace&&) noexcept;
+  BatchWorkspace& operator=(BatchWorkspace&&) noexcept;
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Align one chunk of reads (any size; split internally into
+/// options.batch_size batches in batch mode) using caller-owned scratch.
+/// per_read is resized to reads.size(); output is independent of how reads
+/// are split into chunks and batches.  Options are assumed pre-validated
+/// (validate_driver_options) — the Aligner session does this once.
+void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads,
+                 const DriverOptions& options, BatchWorkspace& workspace,
+                 std::vector<std::vector<io::SamRecord>>& per_read,
+                 DriverStats* stats);
+
 /// Align reads single-end; returns SAM records in read order (each read may
-/// produce several records: primary + supplementary/secondary).
+/// produce several records: primary + supplementary/secondary).  Thin
+/// compatibility shim over the streaming Aligner session (open -> submit
+/// once -> finish); throws invariant_error if the options fail validation.
 std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
                                        const std::vector<seq::Read>& reads,
                                        const DriverOptions& options,
@@ -75,12 +139,12 @@ std::string sam_header_for(const index::Mem2Index& index, const DriverOptions& o
 
 // Internal entry points (one per mode), exposed for the benches.
 void align_reads_baseline(const index::Mem2Index& index,
-                          const std::vector<seq::Read>& reads,
+                          std::span<const seq::Read> reads,
                           const DriverOptions& options,
                           std::vector<std::vector<io::SamRecord>>& per_read,
                           DriverStats* stats);
 void align_reads_batch(const index::Mem2Index& index,
-                       const std::vector<seq::Read>& reads,
+                       std::span<const seq::Read> reads,
                        const DriverOptions& options,
                        std::vector<std::vector<io::SamRecord>>& per_read,
                        DriverStats* stats);

@@ -1,22 +1,48 @@
 // Option validation shared by both drivers: fail fast on combinations the
-// kernels cannot represent instead of mis-scoring silently.
+// kernels cannot represent instead of mis-scoring silently.  Validation
+// runs once per Aligner session (aligner.h), not once per call.
 #include "align/options.h"
 
-#include "util/common.h"
+#include "align/driver.h"
 
 namespace mem2::align {
 
-void validate_options(const MemOptions& opt) {
-  MEM2_REQUIRE(opt.ksw.a > 0, "match score must be positive");
-  MEM2_REQUIRE(opt.ksw.b > 0, "mismatch penalty must be positive");
-  MEM2_REQUIRE(opt.ksw.e_del > 0 && opt.ksw.e_ins > 0,
-               "gap extension penalties must be positive");
-  MEM2_REQUIRE(opt.ksw.o_del >= 0 && opt.ksw.o_ins >= 0,
-               "gap open penalties must be non-negative");
-  MEM2_REQUIRE(opt.w > 0, "band width must be positive");
-  MEM2_REQUIRE(opt.max_band_try >= 1 && opt.max_band_try <= 2,
-               "band tries limited to bwa's MAX_BAND_TRY (2)");
-  MEM2_REQUIRE(opt.seeding.min_seed_len > 0, "min seed length must be positive");
+namespace {
+
+Status check(bool cond, const char* message) {
+  return cond ? Status() : Status::invalid(message);
+}
+
+template <typename... Rest>
+Status check(bool cond, const char* message, Rest&&... rest) {
+  if (!cond) return Status::invalid(message);
+  return check(std::forward<Rest>(rest)...);
+}
+
+}  // namespace
+
+Status validate_options(const MemOptions& opt) {
+  return check(opt.ksw.a > 0, "match score must be positive",
+               opt.ksw.b > 0, "mismatch penalty must be positive",
+               opt.ksw.e_del > 0 && opt.ksw.e_ins > 0,
+               "gap extension penalties must be positive",
+               opt.ksw.o_del >= 0 && opt.ksw.o_ins >= 0,
+               "gap open penalties must be non-negative",
+               opt.w > 0, "band width must be positive",
+               opt.max_band_try >= 1 && opt.max_band_try <= 2,
+               "band tries limited to bwa's MAX_BAND_TRY (2)",
+               opt.seeding.min_seed_len > 0, "min seed length must be positive");
+}
+
+Status validate_driver_options(const DriverOptions& options) {
+  if (Status st = validate_options(options.mem); !st.ok()) return st;
+  return check(options.threads >= 1, "thread count must be >= 1",
+               options.batch_size >= 1, "batch size must be >= 1",
+               options.bsw_threads >= 0,
+               "bsw_threads must be >= 0 (0 follows threads)",
+               options.pipeline_workers >= 0,
+               "pipeline_workers must be >= 0 (0 follows threads)",
+               options.queue_depth >= 1, "queue depth must be >= 1");
 }
 
 }  // namespace mem2::align

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "align/status.h"
 #include "bsw/bsw_batch.h"
 #include "bsw/ksw.h"
 #include "chain/chain.h"
@@ -36,8 +37,9 @@ struct MemOptions {
   }
 };
 
-/// Throws (MEM2_REQUIRE) on option combinations the pipeline cannot honour;
-/// drivers call this once per align_reads invocation.
-void validate_options(const MemOptions& opt);
+/// Rejects option combinations the pipeline cannot honour.  Returns the
+/// first problem found; validated exactly once per session, at Aligner
+/// construction (the align_reads shim inherits that check).
+Status validate_options(const MemOptions& opt);
 
 }  // namespace mem2::align

@@ -25,7 +25,7 @@ std::vector<seq::Code> encode_read(const std::string& bases) {
 }  // namespace
 
 void align_reads_baseline(const index::Mem2Index& index,
-                          const std::vector<seq::Read>& reads,
+                          std::span<const seq::Read> reads,
                           const DriverOptions& options,
                           std::vector<std::vector<io::SamRecord>>& per_read,
                           DriverStats* stats) {

@@ -15,7 +15,9 @@
 //
 // Cross-batch buffers live in containers owned by BatchWorkspace whose
 // capacity persists, plus an Arena for the per-read code buffers: after the
-// first batch the steady state performs no system allocations (§3.2).
+// first batch the steady state performs no system allocations (§3.2).  The
+// workspace is caller-owned so the streaming Aligner session can keep one
+// per worker across many chunks; align_reads_batch wraps a throwaway one.
 #include <omp.h>
 
 #include <algorithm>
@@ -100,11 +102,33 @@ int left_final_score(const SeedJobResults& e, const chain::Seed& s, int a) {
 
 }  // namespace
 
-void align_reads_batch(const index::Mem2Index& index,
-                       const std::vector<seq::Read>& reads,
-                       const DriverOptions& options,
-                       std::vector<std::vector<io::SamRecord>>& per_read,
-                       DriverStats* stats) {
+struct BatchWorkspace::Impl {
+  std::vector<ReadState> states;
+  util::Arena arena;
+  std::vector<bsw::ExtendJob> jobs;
+  std::vector<JobRef> refs;
+  std::vector<JobRef> prev_refs;
+  std::vector<bsw::KswResult> results;
+  std::vector<smem::SmemWorkspace> smem_workspaces;
+  std::vector<JobBlock> blocks;
+  bsw::BswExecutor executor;
+  std::vector<util::StageTimes> thread_stages;
+  std::vector<util::SwCounters> thread_counters;
+};
+
+BatchWorkspace::BatchWorkspace() : impl_(std::make_unique<Impl>()) {}
+BatchWorkspace::~BatchWorkspace() = default;
+BatchWorkspace::BatchWorkspace(BatchWorkspace&&) noexcept = default;
+BatchWorkspace& BatchWorkspace::operator=(BatchWorkspace&&) noexcept = default;
+
+void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads,
+                 const DriverOptions& options, BatchWorkspace& workspace,
+                 std::vector<std::vector<io::SamRecord>>& per_read,
+                 DriverStats* stats) {
+  if (options.mode == Mode::kBaseline) {
+    align_reads_baseline(index, reads, options, per_read, stats);
+    return;
+  }
   MEM2_REQUIRE(index.has_cp32(), "batch driver needs the CP32 index");
   MEM2_REQUIRE(index.has_flat_sa(), "batch driver needs the flat SA");
   MEM2_REQUIRE(options.mem.max_band_try <= 2,
@@ -113,21 +137,30 @@ void align_reads_batch(const index::Mem2Index& index,
 
   const util::PrefetchPolicy prefetch{options.prefetch};
   const int n_threads = options.threads;
-  std::vector<util::StageTimes> thread_stages(static_cast<std::size_t>(n_threads));
-  std::vector<util::SwCounters> thread_counters(static_cast<std::size_t>(n_threads));
+  BatchWorkspace::Impl& ws = workspace.impl();
+  ws.thread_stages.assign(static_cast<std::size_t>(n_threads), {});
+  ws.thread_counters.assign(static_cast<std::size_t>(n_threads), {});
+  std::vector<util::StageTimes>& thread_stages = ws.thread_stages;
+  std::vector<util::SwCounters>& thread_counters = ws.thread_counters;
 
-  // Batch-lifetime containers: capacity survives across batches.
-  std::vector<ReadState> states;
-  util::Arena arena;
-  std::vector<bsw::ExtendJob> jobs;
-  std::vector<JobRef> refs;
-  std::vector<JobRef> prev_refs;
-  std::vector<bsw::KswResult> results;
-  std::vector<smem::SmemWorkspace> workspaces(static_cast<std::size_t>(n_threads));
+  // Chunk-lifetime containers live in the workspace: capacity survives
+  // across batches AND across chunks.
+  std::vector<ReadState>& states = ws.states;
+  util::Arena& arena = ws.arena;
+  std::vector<bsw::ExtendJob>& jobs = ws.jobs;
+  std::vector<JobRef>& refs = ws.refs;
+  std::vector<JobRef>& prev_refs = ws.prev_refs;
+  std::vector<bsw::KswResult>& results = ws.results;
+  if (ws.smem_workspaces.size() < static_cast<std::size_t>(n_threads))
+    ws.smem_workspaces.resize(static_cast<std::size_t>(n_threads));
+  std::vector<smem::SmemWorkspace>& workspaces = ws.smem_workspaces;
 
   const int bsw_threads = std::max(1, options.effective_bsw_threads());
-  std::vector<JobBlock> blocks(static_cast<std::size_t>(bsw_threads));
-  bsw::BswExecutor executor(bsw_threads);
+  if (ws.blocks.size() != static_cast<std::size_t>(bsw_threads))
+    ws.blocks.resize(static_cast<std::size_t>(bsw_threads));
+  std::vector<JobBlock>& blocks = ws.blocks;
+  ws.executor.set_threads(bsw_threads);
+  bsw::BswExecutor& executor = ws.executor;
 
   util::StageTimes& st0 = thread_stages[0];  // serial-section accounting
 
@@ -378,6 +411,17 @@ void align_reads_batch(const index::Mem2Index& index,
     for (const auto& t : thread_stages) stats->stages += t;
     for (const auto& c : thread_counters) stats->counters += c;
   }
+}
+
+void align_reads_batch(const index::Mem2Index& index,
+                       std::span<const seq::Read> reads,
+                       const DriverOptions& options,
+                       std::vector<std::vector<io::SamRecord>>& per_read,
+                       DriverStats* stats) {
+  DriverOptions opt = options;
+  opt.mode = Mode::kBatch;
+  BatchWorkspace workspace;
+  align_chunk(index, reads, opt, workspace, per_read, stats);
 }
 
 }  // namespace mem2::align

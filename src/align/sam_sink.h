@@ -1,0 +1,79 @@
+// SAM output sinks for the streaming session API (aligner.h).
+//
+// The Stream's ordered reassembly writer serializes all sink calls under
+// one lock, in read order: write_header() once at open(), then
+// write_record() per record, then flush() at finish().  Implementations
+// therefore do not need to be thread-safe; they do need to be cheap, since
+// they run inside the emit critical section.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/sam.h"
+
+namespace mem2::align {
+
+class SamSink {
+ public:
+  virtual ~SamSink() = default;
+  virtual void write_header(const std::string& header) = 0;
+  virtual void write_record(const io::SamRecord& record) = 0;
+  /// Bulk hook the ordered writer uses per retired batch; the records are
+  /// dead after the call, so collecting sinks may steal instead of copy.
+  virtual void write_records(std::vector<io::SamRecord>&& records) {
+    for (const auto& rec : records) write_record(rec);
+  }
+  virtual void flush() {}
+};
+
+/// Formats records as SAM text lines onto an ostream (e.g. std::cout).
+class OstreamSamSink final : public SamSink {
+ public:
+  explicit OstreamSamSink(std::ostream& out) : out_(out) {}
+
+  void write_header(const std::string& header) override { out_ << header; }
+  void write_record(const io::SamRecord& record) override {
+    out_ << record.to_line() << '\n';
+    ++records_written_;
+  }
+  void flush() override { out_.flush(); }
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t records_written_ = 0;
+};
+
+/// Collects records in memory — the align_reads() compatibility shim and
+/// tests that want structured output rather than text.
+class CollectSamSink final : public SamSink {
+ public:
+  void write_header(const std::string& header) override { header_ = header; }
+  void write_record(const io::SamRecord& record) override {
+    records_.push_back(record);
+  }
+  void write_records(std::vector<io::SamRecord>&& records) override {
+    if (records_.empty()) {
+      records_ = std::move(records);
+    } else {
+      records_.insert(records_.end(),
+                      std::make_move_iterator(records.begin()),
+                      std::make_move_iterator(records.end()));
+    }
+  }
+
+  const std::string& header() const { return header_; }
+  const std::vector<io::SamRecord>& records() const { return records_; }
+  std::vector<io::SamRecord> take_records() { return std::move(records_); }
+
+ private:
+  std::string header_;
+  std::vector<io::SamRecord> records_;
+};
+
+}  // namespace mem2::align

@@ -1,0 +1,32 @@
+// Rich, non-throwing error reporting for the session API (aligner.h).
+//
+// Construction-time validation and streaming-time failures surface as a
+// Status instead of an exception, so a server embedding the aligner can
+// reject a bad configuration per-session without unwinding.  The legacy
+// align_reads() shim converts a non-ok Status back into invariant_error.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace mem2::align {
+
+class Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status invalid(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return message_.empty(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Empty for success; the first failure description otherwise.
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::string message_;
+};
+
+}  // namespace mem2::align

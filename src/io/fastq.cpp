@@ -1,5 +1,6 @@
 #include "io/fastq.h"
 
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -18,29 +19,55 @@ bool get_trimmed(std::istream& in, std::string& line) {
 
 }  // namespace
 
-std::vector<seq::Read> read_fastq(std::istream& in) {
-  std::vector<seq::Read> reads;
-  std::string header, bases, plus, qual;
-  while (get_trimmed(in, header)) {
-    if (header.empty()) continue;
-    if (header[0] != '@') throw io_error("FASTQ: expected '@' header, got: " + header);
-    if (!get_trimmed(in, bases)) throw io_error("FASTQ: truncated record (no sequence)");
-    if (!get_trimmed(in, plus)) throw io_error("FASTQ: truncated record (no '+')");
-    if (plus.empty() || plus[0] != '+') throw io_error("FASTQ: expected '+' line");
-    if (!get_trimmed(in, qual)) throw io_error("FASTQ: truncated record (no quality)");
-    if (qual.size() != bases.size())
-      throw io_error("FASTQ: quality length != sequence length for " + header);
+FastqStream::FastqStream(std::istream& in) : in_(&in) {}
 
-    seq::Read r;
-    std::size_t name_end = 1;
-    while (name_end < header.size() && !std::isspace(static_cast<unsigned char>(header[name_end])))
-      ++name_end;
-    r.name = header.substr(1, name_end - 1);
-    if (r.name.empty()) throw io_error("FASTQ: empty read name");
-    r.bases = bases;
-    r.qual = qual;
-    reads.push_back(std::move(r));
-  }
+FastqStream::FastqStream(const std::string& path)
+    : owned_(std::make_unique<std::ifstream>(path)) {
+  if (!*owned_) throw io_error("cannot open FASTQ file: " + path);
+  in_ = owned_.get();
+}
+
+FastqStream::~FastqStream() = default;
+FastqStream::FastqStream(FastqStream&&) noexcept = default;
+FastqStream& FastqStream::operator=(FastqStream&&) noexcept = default;
+
+bool FastqStream::next_read(seq::Read& read) {
+  // Skip blank lines between records (and tolerate a trailing newline).
+  do {
+    if (!get_trimmed(*in_, header_)) return false;
+  } while (header_.empty());
+
+  if (header_[0] != '@') throw io_error("FASTQ: expected '@' header, got: " + header_);
+  if (!get_trimmed(*in_, read.bases)) throw io_error("FASTQ: truncated record (no sequence)");
+  if (!get_trimmed(*in_, plus_)) throw io_error("FASTQ: truncated record (no '+')");
+  if (plus_.empty() || plus_[0] != '+') throw io_error("FASTQ: expected '+' line");
+  if (!get_trimmed(*in_, read.qual)) throw io_error("FASTQ: truncated record (no quality)");
+  if (read.qual.size() != read.bases.size())
+    throw io_error("FASTQ: quality length != sequence length for " + header_);
+
+  std::size_t name_end = 1;
+  while (name_end < header_.size() &&
+         !std::isspace(static_cast<unsigned char>(header_[name_end])))
+    ++name_end;
+  read.name.assign(header_, 1, name_end - 1);
+  if (read.name.empty()) throw io_error("FASTQ: empty read name");
+  ++reads_parsed_;
+  return true;
+}
+
+std::size_t FastqStream::next_chunk(std::vector<seq::Read>& out, std::size_t max_reads) {
+  out.clear();
+  if (out.capacity() < max_reads) out.reserve(max_reads);
+  seq::Read read;
+  while (out.size() < max_reads && next_read(read)) out.push_back(std::move(read));
+  return out.size();
+}
+
+std::vector<seq::Read> read_fastq(std::istream& in) {
+  FastqStream stream(in);
+  std::vector<seq::Read> reads;
+  seq::Read read;
+  while (stream.next_read(read)) reads.push_back(std::move(read));
   return reads;
 }
 

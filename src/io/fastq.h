@@ -1,13 +1,51 @@
 // FASTQ reading and writing.
+//
+// FastqStream is the chunked reader the streaming Aligner session feeds
+// from: it parses records incrementally, so arbitrarily large inputs never
+// need full materialization — pair it with Stream::submit() and resident
+// reads stay bounded by the pipeline's queue.  read_fastq() remains the
+// load-everything convenience, now a thin loop over FastqStream.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "seq/read_sim.h"
 
 namespace mem2::io {
+
+/// Incremental FASTQ parser.  Throws io_error on structural errors
+/// (missing '+', quality/sequence length mismatch, truncated record).
+class FastqStream {
+ public:
+  /// Stream from an existing istream (not owned; must outlive this).
+  explicit FastqStream(std::istream& in);
+  /// Stream from a file; throws io_error if it cannot be opened.
+  explicit FastqStream(const std::string& path);
+  ~FastqStream();
+  FastqStream(FastqStream&&) noexcept;
+  FastqStream& operator=(FastqStream&&) noexcept;
+
+  /// Parse the next record into `read` (contents replaced).  Returns false
+  /// at end of input.
+  bool next_read(seq::Read& read);
+
+  /// Clear `out` and refill it with up to max_reads records.  Returns the
+  /// number parsed; 0 means end of input.
+  std::size_t next_chunk(std::vector<seq::Read>& out, std::size_t max_reads);
+
+  /// Total records parsed so far.
+  std::uint64_t reads_parsed() const { return reads_parsed_; }
+
+ private:
+  std::unique_ptr<std::istream> owned_;  // set for the path constructor
+  std::istream* in_;
+  std::string header_, plus_;  // line buffers reused across records
+  std::uint64_t reads_parsed_ = 0;
+};
 
 /// Parse all reads.  Throws io_error on structural errors (missing '+',
 /// quality/sequence length mismatch, truncated record).
