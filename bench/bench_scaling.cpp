@@ -115,6 +115,32 @@ int main() {
     }
   }
 
+  // --- SMEM interleave sweep: batch-driver SMEM stage time vs K ---
+  {
+    const auto d1 = bench::bench_dataset(index, 0);
+    bench::print_header("SMEM stage vs smem_inflight (batch driver, D1, 1 thread)");
+    bench::print_row("K", {"SMEM (s)", "SAL (s)", "e2e (s)", "SMEM spd"});
+    double smem_k1 = 0;
+    for (const int k : {1, 2, 4, 8, 16}) {
+      align::DriverOptions opt;
+      opt.mode = align::Mode::kBatch;
+      opt.threads = 1;
+      opt.smem_inflight = k;
+      const align::Aligner aligner(index, opt);
+      align::CollectSamSink sink;
+      align::DriverStats stats;
+      util::Timer t;
+      bench::require_ok(aligner.align(d1.reads, sink, &stats));
+      const double e2e = t.seconds();
+      const double smem = stats.stages[util::Stage::kSmem];
+      if (k == 1) smem_k1 = smem;
+      bench::print_row(std::to_string(k).c_str(),
+                       {bench::fmt(smem, 3), bench::fmt(stats.stages[util::Stage::kSal], 3),
+                        bench::fmt(e2e, 2),
+                        bench::fmt(smem > 0 ? smem_k1 / smem : 0.0, 2) + "x"});
+    }
+  }
+
   // --- BswExecutor thread sweep -> BENCH_bsw_scaling.json ---
   {
     align::MemOptions mopt;

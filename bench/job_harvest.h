@@ -61,8 +61,10 @@ inline HarvestedJobs harvest_bsw_jobs(const index::Mem2Index& index,
 
     smem::collect_smems(index.fm32(), q, opt.seeding, smems, ws,
                         util::PrefetchPolicy{true});
-    auto seeds = chain::seeds_from_smems(
-        smems, opt.chaining, [&](idx_t row) { return index.sa_lookup_flat(row); });
+    std::vector<chain::Seed> seeds;
+    chain::seeds_from_smems(
+        smems, opt.chaining, [&](idx_t row) { return index.sa_lookup_flat(row); },
+        seeds);
     const double frac_rep = chain::repetitive_fraction(
         smems, static_cast<int>(q.size()), opt.chaining.max_occ);
     auto chains = chain::build_chains(index.ref(), index.l_pac(), seeds,

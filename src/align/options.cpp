@@ -4,6 +4,7 @@
 #include "align/options.h"
 
 #include "align/driver.h"
+#include "smem/smem_executor.h"
 
 namespace mem2::align {
 
@@ -35,9 +36,14 @@ Status validate_options(const MemOptions& opt) {
 }
 
 Status validate_driver_options(const DriverOptions& options) {
+  static_assert(smem::SmemExecutor::kMaxInflight == 64,
+                "update the smem_inflight validation message");
   if (Status st = validate_options(options.mem); !st.ok()) return st;
   return check(options.threads >= 1, "thread count must be >= 1",
                options.batch_size >= 1, "batch size must be >= 1",
+               options.smem_inflight >= 1 &&
+                   options.smem_inflight <= smem::SmemExecutor::kMaxInflight,
+               "smem_inflight must be in [1, 64]",
                options.bsw_threads >= 0,
                "bsw_threads must be >= 0 (0 follows threads)",
                options.pipeline_workers >= 0,

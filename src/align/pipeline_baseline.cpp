@@ -58,13 +58,13 @@ void align_reads_baseline(const index::Mem2Index& index,
         smem::collect_smems(index.fm128(), query, options.mem.seeding, smems, ws,
                             no_prefetch);
       }
-      // SAL.
+      // SAL (concrete lambda: the LF-walk lookup inlines, no std::function).
       std::vector<chain::Seed> seeds;
       {
         util::ScopedStage s(st, util::Stage::kSal);
-        seeds = chain::seeds_from_smems(
+        chain::seeds_from_smems(
             smems, options.mem.chaining,
-            [&](idx_t row) { return index.sa_lookup_baseline(row); });
+            [&](idx_t row) { return index.sa_lookup_baseline(row); }, seeds);
       }
       // CHAIN.
       std::vector<chain::Chain> chains;

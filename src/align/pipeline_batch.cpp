@@ -25,6 +25,7 @@
 #include "align/driver.h"
 #include "align/sam_format.h"
 #include "bsw/bsw_executor.h"
+#include "smem/smem_executor.h"
 #include "util/arena.h"
 
 namespace mem2::align {
@@ -37,7 +38,7 @@ struct SeedJobResults {
 };
 
 struct ReadState {
-  std::span<const seq::Code> query, query_rev;
+  std::span<seq::Code> query, query_rev;  // query_rev filled lazily (BSW-pre)
   std::vector<smem::Smem> smems;
   std::vector<chain::Seed> seeds;
   std::vector<chain::Chain> chains;
@@ -109,7 +110,7 @@ struct BatchWorkspace::Impl {
   std::vector<JobRef> refs;
   std::vector<JobRef> prev_refs;
   std::vector<bsw::KswResult> results;
-  std::vector<smem::SmemWorkspace> smem_workspaces;
+  std::vector<smem::SmemExecutor> smem_executors;
   std::vector<JobBlock> blocks;
   bsw::BswExecutor executor;
   std::vector<util::StageTimes> thread_stages;
@@ -151,9 +152,10 @@ void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads
   std::vector<JobRef>& refs = ws.refs;
   std::vector<JobRef>& prev_refs = ws.prev_refs;
   std::vector<bsw::KswResult>& results = ws.results;
-  if (ws.smem_workspaces.size() < static_cast<std::size_t>(n_threads))
-    ws.smem_workspaces.resize(static_cast<std::size_t>(n_threads));
-  std::vector<smem::SmemWorkspace>& workspaces = ws.smem_workspaces;
+  if (ws.smem_executors.size() < static_cast<std::size_t>(n_threads))
+    ws.smem_executors.resize(static_cast<std::size_t>(n_threads));
+  std::vector<smem::SmemExecutor>& smem_executors = ws.smem_executors;
+  for (auto& ex : smem_executors) ex.set_inflight(options.smem_inflight);
 
   const int bsw_threads = std::max(1, options.effective_bsw_threads());
   if (ws.blocks.size() != static_cast<std::size_t>(bsw_threads))
@@ -173,46 +175,68 @@ void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads
     arena.reset();
 
     // Encode queries into arena memory (contiguous, reused across batches).
+    // The bump-pointer allocation stays serial (it is not thread-safe and
+    // costs nanoseconds); the O(len) encode fills run across threads, and
+    // query_rev is deferred to the BSW pre-processing stage — reads whose
+    // chains all filter out never pay for the reversal.
     {
       util::ScopedStage s(st0, util::Stage::kMisc);
       for (int i = 0; i < nb; ++i) {
         ReadState& rs = states[static_cast<std::size_t>(i)];
         rs.clear();
+        const std::size_t len =
+            reads[batch_beg + static_cast<std::size_t>(i)].bases.size();
+        rs.query = {arena.allocate_array<seq::Code>(len), len};
+        rs.query_rev = {arena.allocate_array<seq::Code>(len), len};
+      }
+#pragma omp parallel for schedule(static) num_threads(n_threads)
+      for (int i = 0; i < nb; ++i) {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
         const std::string& bases = reads[batch_beg + static_cast<std::size_t>(i)].bases;
-        auto* q = arena.allocate_array<seq::Code>(bases.size());
-        auto* qr = arena.allocate_array<seq::Code>(bases.size());
-        for (std::size_t j = 0; j < bases.size(); ++j) {
-          q[j] = seq::char_to_code(bases[j]);
-          qr[bases.size() - 1 - j] = q[j];
-        }
-        rs.query = {q, bases.size()};
-        rs.query_rev = {qr, bases.size()};
+        for (std::size_t j = 0; j < bases.size(); ++j)
+          rs.query[j] = seq::char_to_code(bases[j]);
       }
     }
 
-    // --- SMEM stage (whole batch) ---
+    // --- SMEM stage (whole batch): each thread takes a group of reads and
+    // runs smem_inflight walks in lockstep on its SmemExecutor, so one
+    // read's Occ misses overlap the other in-flight reads' work.  Group
+    // size balances lane refill (>= inflight) against work units for the
+    // dynamic schedule (>= ~4 groups per thread when the batch allows). ---
+    constexpr int kSmemGroup = 64;  // upper bound (qrefs stack array below)
+    static_assert(kSmemGroup >= smem::SmemExecutor::kMaxInflight,
+                  "groups must be able to fill every lane");
+    const int group = std::clamp(nb / (4 * n_threads), options.smem_inflight,
+                                 kSmemGroup);
+    const int n_groups = (nb + group - 1) / group;
 #pragma omp parallel num_threads(n_threads)
     {
       const int tid = omp_get_thread_num();
       util::tls_counters().reset();
       util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
       util::Timer timer;
-#pragma omp for schedule(dynamic, 8)
-      for (int i = 0; i < nb; ++i) {
-        ReadState& rs = states[static_cast<std::size_t>(i)];
-        smem::collect_smems(index.fm32(), rs.query, options.mem.seeding, rs.smems,
-                            workspaces[static_cast<std::size_t>(tid)], prefetch);
+#pragma omp for schedule(dynamic, 1)
+      for (int g = 0; g < n_groups; ++g) {
+        const int beg = g * group;
+        const int end = std::min(nb, beg + group);
+        smem::QueryRef qrefs[kSmemGroup];
+        for (int i = beg; i < end; ++i) {
+          ReadState& rs = states[static_cast<std::size_t>(i)];
+          qrefs[i - beg] = smem::QueryRef{rs.query, &rs.smems};
+        }
+        smem_executors[static_cast<std::size_t>(tid)].collect(
+            index.fm32(), std::span(qrefs, static_cast<std::size_t>(end - beg)),
+            options.mem.seeding, prefetch);
       }
       st[util::Stage::kSmem] += timer.seconds();
 
-      // --- SAL stage ---
+      // --- SAL stage: batched gather, SA lines prefetched in waves ---
       timer.restart();
 #pragma omp for schedule(dynamic, 8)
       for (int i = 0; i < nb; ++i) {
         ReadState& rs = states[static_cast<std::size_t>(i)];
-        rs.seeds = chain::seeds_from_smems(
-            rs.smems, options.mem.chaining,
-            [&](idx_t row) { return index.sa_lookup_flat(row); });
+        smem_executors[static_cast<std::size_t>(tid)].gather_seeds(
+            rs.smems, options.mem.chaining, index.flat_sa(), rs.seeds);
       }
       st[util::Stage::kSal] += timer.seconds();
 
@@ -235,6 +259,11 @@ void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads
 #pragma omp for schedule(dynamic, 8)
       for (int i = 0; i < nb; ++i) {
         ReadState& rs = states[static_cast<std::size_t>(i)];
+        if (rs.chains.empty()) continue;  // query_rev never needed
+        // Deferred from encoding: the reversed query's first reader is job
+        // construction below, so only reads that reach extension pay for it.
+        for (std::size_t j = 0; j < rs.query.size(); ++j)
+          rs.query_rev[rs.query.size() - 1 - j] = rs.query[j];
         ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
         rs.crefs.reserve(rs.chains.size());
         rs.table.resize(rs.chains.size());

@@ -25,19 +25,25 @@ int interval_rid(const seq::Reference& ref, idx_t l_pac, idx_t rbeg, idx_t len) 
 std::vector<Seed> seeds_from_smems(std::span<const smem::Smem> smems,
                                    const ChainOptions& opt, const SalFn& sal) {
   std::vector<Seed> seeds;
-  for (const auto& m : smems) {
-    const idx_t s = m.bi.s;
-    const idx_t step = s > opt.max_occ ? s / opt.max_occ : 1;
-    idx_t count = 0;
-    for (idx_t k = 0; k < s && count < opt.max_occ; k += step, ++count) {
-      Seed seed;
-      seed.rbeg = sal(m.bi.k + k);
-      seed.qbeg = m.qb;
-      seed.len = seed.score = m.len();
-      seeds.push_back(seed);
-    }
-  }
+  seeds_from_smems(smems, opt, sal, seeds);
   return seeds;
+}
+
+void seeds_from_smems_batched(std::span<const smem::Smem> smems,
+                              const ChainOptions& opt,
+                              const index::FlatSA& sa,
+                              std::vector<Seed>& out) {
+  // Pass 1: sampled rows, parked in the rbeg slots they will resolve into.
+  seeds_from_smems(smems, opt, [](idx_t row) { return row; }, out);
+
+  // Pass 2: wave-prefetched gather.
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n && i < kSalWave; ++i)
+    sa.prefetch(out[i].rbeg);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kSalWave < n) sa.prefetch(out[i + kSalWave].rbeg);
+    out[i].rbeg = sa.lookup(out[i].rbeg);
+  }
 }
 
 double repetitive_fraction(std::span<const smem::Smem> smems, int l_query,

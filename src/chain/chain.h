@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "index/flat_sa.h"
 #include "seq/pack.h"
 #include "smem/smem_search.h"
 
@@ -49,19 +50,50 @@ struct ChainOptions {
   int min_seed_len = 19;
 };
 
-/// Suffix-array lookup callback: BW row -> position in doubled coordinates.
-/// Both SAL flavours plug in here, which is how the SAL swap stays invisible
-/// to chaining.
-using SalFn = std::function<idx_t(idx_t)>;
-
 /// Locate the contig of [rbeg, rbeg+len) in doubled coordinates; -1 if the
 /// interval crosses a contig or the strand boundary (bwa bns_intv2rid).
 int interval_rid(const seq::Reference& ref, idx_t l_pac, idx_t rbeg, idx_t len);
 
 /// Materialize seeds from SMEM intervals (the SAL stage): samples at most
-/// max_occ positions per interval, in bwa's stepped order.
+/// max_occ positions per interval, in bwa's stepped order.  `sal` is any
+/// row -> position callable; concrete functors/lambdas inline here, so the
+/// per-row lookup costs a load, not a std::function dispatch.
+template <class Sal>
+void seeds_from_smems(std::span<const smem::Smem> smems, const ChainOptions& opt,
+                      const Sal& sal, std::vector<Seed>& out) {
+  out.clear();
+  for (const auto& m : smems) {
+    const idx_t s = m.bi.s;
+    const idx_t step = s > opt.max_occ ? s / opt.max_occ : 1;
+    idx_t count = 0;
+    for (idx_t k = 0; k < s && count < opt.max_occ; k += step, ++count) {
+      Seed seed;
+      seed.rbeg = sal(m.bi.k + k);
+      seed.qbeg = m.qb;
+      seed.len = seed.score = m.len();
+      out.push_back(seed);
+    }
+  }
+}
+
+/// Type-erased suffix-array lookup callback, kept as a compatibility shim
+/// for tests and exploratory code; hot paths use the template above or the
+/// batched gather below.
+using SalFn = std::function<idx_t(idx_t)>;
 std::vector<Seed> seeds_from_smems(std::span<const smem::Smem> smems,
                                    const ChainOptions& opt, const SalFn& sal);
+
+/// Batched SAL (paper §4.5 with the §4.3 prefetch discipline): first
+/// materialize every sampled BW row into the seed list, then resolve
+/// rows -> positions against the flat SA with a wave of software prefetches
+/// running kSalWave iterations ahead of the loads, so the random SA-line
+/// misses overlap instead of serializing.  Output is identical to
+/// seeds_from_smems over a flat-SA callable.
+inline constexpr std::size_t kSalWave = 16;
+void seeds_from_smems_batched(std::span<const smem::Smem> smems,
+                              const ChainOptions& opt,
+                              const index::FlatSA& sa,
+                              std::vector<Seed>& out);
 
 /// Fraction of the query covered by high-occurrence SMEMs (bwa's frac_rep,
 /// used by the mapq model).

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/prefetch.h"
 #include "util/sw_counters.h"
 
 namespace mem2::index {
@@ -23,6 +24,14 @@ class FlatSA {
     ++ctr.sa_lookups;
     ++ctr.sa_memory_loads;
     return sa_[static_cast<std::size_t>(r)];
+  }
+
+  /// Request the SA line holding row r ahead of a lookup (§4.3 discipline;
+  /// the batched SAL gather issues these in waves running ahead of the
+  /// loads so the random-line misses overlap).
+  void prefetch(idx_t r) const {
+    util::prefetch_r(&sa_[static_cast<std::size_t>(r)]);
+    ++util::tls_counters().prefetches;
   }
 
   std::size_t size() const { return sa_.size(); }

@@ -55,13 +55,9 @@ void collect_smems(const Fm& fm, std::span<const seq::Code> query,
     }
   }
 
-  // bwa sorts by the packed (qb<<32|qe) key; reproduce that ordering and
-  // break remaining ties by interval start for full determinism.
-  std::sort(out.begin(), out.end(), [](const Smem& a, const Smem& b) {
-    if (a.qb != b.qb) return a.qb < b.qb;
-    if (a.qe != b.qe) return a.qe < b.qe;
-    return a.bi.k < b.bi.k;
-  });
+  // bwa sorts by the packed (qb<<32|qe) key (smem_less adds a deterministic
+  // interval-start tiebreak; the interleaved executor sorts the same way).
+  std::sort(out.begin(), out.end(), smem_less);
 }
 
 }  // namespace mem2::smem

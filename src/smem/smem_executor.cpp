@@ -1,0 +1,18 @@
+// collect() is a header template (smem_executor.h); this TU pins explicit
+// instantiations for the two index flavours and holds the non-template bits.
+#include "smem/smem_executor.h"
+
+namespace mem2::smem {
+
+void SmemExecutor::set_inflight(int inflight) {
+  inflight_ = std::clamp(inflight, 1, kMaxInflight);
+}
+
+template void SmemExecutor::collect<index::FmIndexCp128>(
+    const index::FmIndexCp128&, std::span<const QueryRef>,
+    const SeedingOptions&, const util::PrefetchPolicy&);
+template void SmemExecutor::collect<index::FmIndexCp32>(
+    const index::FmIndexCp32&, std::span<const QueryRef>,
+    const SeedingOptions&, const util::PrefetchPolicy&);
+
+}  // namespace mem2::smem

@@ -37,6 +37,15 @@ struct Smem {
   bool operator==(const Smem&) const = default;
 };
 
+/// bwa's packed (qb<<32|qe) ordering with an interval-start tiebreak for
+/// full determinism — the one definition both the scalar collect_smems and
+/// the interleaved SmemExecutor sort with.
+inline bool smem_less(const Smem& a, const Smem& b) {
+  if (a.qb != b.qb) return a.qb < b.qb;
+  if (a.qe != b.qe) return a.qe < b.qe;
+  return a.bi.k < b.bi.k;
+}
+
 /// Scratch buffers reused across calls (the paper's large-contiguous-
 /// allocation discipline: one workspace per thread, zero churn).
 struct SmemWorkspace {
