@@ -7,6 +7,12 @@
 // Paper reference (SKX): single-thread speedups 2.6x-3.5x; single-socket
 // 1.7x-2.4x.  Shape to reproduce: optimized wins on every dataset; SAL
 // nearly vanishes from the optimized bars; Misc grows in relative share.
+//
+// --paired runs the paired-end suite instead: end-to-end throughput of the
+// paired batch driver (insert-size calibration + pair scoring + BSW mate
+// rescue) with the per-stage breakdown and the mate-rescue counter line,
+// written to BENCH_pe.json.  --smoke caps the workload for CI.
+#include <cstring>
 #include <thread>
 
 #include "align/aligner.h"
@@ -72,9 +78,143 @@ void run_suite(const index::Mem2Index& index, int threads) {
   }
 }
 
+struct PairedRun {
+  int threads = 0;
+  double seconds = 0;
+  double pairs_per_sec = 0;
+  util::StageTimes stages;
+  util::SwCounters counters;
+  std::size_t records = 0;
+};
+
+PairedRun run_paired_once(const index::Mem2Index& index,
+                          const std::vector<seq::Read>& reads, int threads,
+                          std::vector<std::string>* sam_out) {
+  align::DriverOptions opt;
+  opt.mode = align::Mode::kBatch;
+  opt.paired = true;
+  opt.threads = threads;
+
+  const align::Aligner aligner(index, opt);
+  align::CollectSamSink sink;
+  util::Timer t;
+  align::Stream stream = aligner.open(sink);
+  bench::require_ok(stream.submit(std::span<const seq::Read>(reads)));
+  bench::require_ok(stream.finish());
+
+  PairedRun run;
+  run.threads = threads;
+  run.seconds = t.seconds();
+  run.pairs_per_sec = static_cast<double>(reads.size() / 2) / run.seconds;
+  run.stages = stream.stats().stages;
+  run.counters = stream.stats().counters;
+  run.records = sink.records().size();
+  if (sam_out) {
+    sam_out->clear();
+    for (const auto& rec : sink.records()) sam_out->push_back(rec.to_line());
+  }
+  return run;
+}
+
+int run_paired_suite(bool smoke) {
+  const auto index = bench::bench_index();
+  const double scale = smoke ? 0.2 : bench::bench_scale();
+
+  seq::PairSimConfig cfg;
+  cfg.seed = 20190528;
+  cfg.read_length = 101;
+  cfg.num_pairs = std::max<std::int64_t>(500, static_cast<std::int64_t>(6250 * scale));
+  cfg.insert_mean = 420;
+  cfg.insert_std = 45;
+  cfg.substitution_rate = 0.012;
+  cfg.insertion_rate = 0.0005;
+  cfg.deletion_rate = 0.0005;
+  cfg.damage_fraction = 0.05;  // keep the rescue path measurably busy
+  const auto reads = seq::simulate_pairs(index.ref(), cfg);
+
+  bench::print_header("Paired-end: batch driver + pair scoring + mate rescue");
+  bench::print_row("Threads", {"time (s)", "pairs/s", "SMEM", "BSW", "PAIR", "Misc"});
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<PairedRun> runs;
+  std::vector<std::string> sam1, samN;
+  runs.push_back(run_paired_once(index, reads, 1, &sam1));
+  if (hw > 1) runs.push_back(run_paired_once(index, reads, hw, &samN));
+  const bool identical = samN.empty() || sam1 == samN;
+
+  for (const auto& r : runs) {
+    const auto& st = r.stages;
+    const double misc = st[util::Stage::kChain] + st[util::Stage::kBswPre] +
+                        st[util::Stage::kSamForm] + st[util::Stage::kMisc];
+    bench::print_row(
+        (std::to_string(r.threads) + (identical ? "" : " [OUTPUT MISMATCH!]")).c_str(),
+        {bench::fmt(r.seconds, 2), bench::fmt(r.pairs_per_sec, 0),
+         bench::fmt(st[util::Stage::kSmem], 2), bench::fmt(st[util::Stage::kBsw], 2),
+         bench::fmt(st[util::Stage::kPair], 2), bench::fmt(misc, 2)});
+  }
+
+  const auto& c = runs[0].counters;
+  std::printf(
+      "\n  mate rescue: rescued_pairs=%llu rescue_jobs=%llu (windows=%llu "
+      "hits=%llu) proper_pairs=%llu of %lld\n",
+      static_cast<unsigned long long>(c.pe_rescued_pairs),
+      static_cast<unsigned long long>(c.pe_rescue_jobs),
+      static_cast<unsigned long long>(c.pe_rescue_windows),
+      static_cast<unsigned long long>(c.pe_rescue_hits),
+      static_cast<unsigned long long>(c.pe_proper_pairs),
+      static_cast<long long>(cfg.num_pairs));
+
+  if (std::FILE* f = std::fopen("BENCH_pe.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"e2e_paired\",\n");
+    std::fprintf(f, "  \"pairs\": %lld,\n  \"read_length\": %d,\n  \"smoke\": %s,\n",
+                 static_cast<long long>(cfg.num_pairs), cfg.read_length,
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"outputs_identical_across_threads\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"rescued_pairs\": %llu,\n  \"rescue_jobs\": %llu,\n"
+                 "  \"rescue_windows\": %llu,\n  \"rescue_hits\": %llu,\n"
+                 "  \"proper_pairs\": %llu,\n",
+                 static_cast<unsigned long long>(c.pe_rescued_pairs),
+                 static_cast<unsigned long long>(c.pe_rescue_jobs),
+                 static_cast<unsigned long long>(c.pe_rescue_windows),
+                 static_cast<unsigned long long>(c.pe_rescue_hits),
+                 static_cast<unsigned long long>(c.pe_proper_pairs));
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& r = runs[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"seconds\": %.6f, \"pairs_per_sec\": "
+                   "%.1f, \"pair_stage_seconds\": %.6f}%s\n",
+                   r.threads, r.seconds, r.pairs_per_sec,
+                   r.stages[util::Stage::kPair], i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_pe.json\n");
+  }
+
+  if (!identical) {
+    std::printf("ERROR: paired SAM differs across thread counts!\n");
+    return 1;
+  }
+  if (c.pe_rescued_pairs == 0) {
+    std::printf("ERROR: mate rescue recovered no pairs!\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool paired = false, smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--paired")) paired = true;
+    if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+  }
+  if (paired) return run_paired_suite(smoke);
+
   const auto index = bench::bench_index();
   run_suite(index, 1);
   const int hw = static_cast<int>(std::thread::hardware_concurrency());

@@ -29,15 +29,19 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  mem2_cli index <ref.fasta> <out.m2i>\n"
-      "  mem2_cli mem [options] <index.m2i> <reads.fq>\n"
+      "  mem2_cli mem [options] <index.m2i> <reads.fq> [mates.fq]\n"
       "      -t N              pipeline worker threads (default 1)\n"
       "      -b N              reads per batch (default 512)\n"
       "      --bsw-threads N   BSW-round threads (default: follow -t)\n"
       "      --baseline        original read-at-a-time driver\n"
+      "      -p                paired interleaved input (single FASTQ)\n"
+      "                        (two FASTQ files imply paired mode)\n"
       "      -k N              min seed length\n"
       "      -T N              min output score\n"
       "  mem2_cli simulate <out.fasta> <length> [seed]\n"
-      "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n";
+      "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n"
+      "  mem2_cli wgsim-pe <ref.fasta> <out1.fastq> <out2.fastq> <n_pairs>"
+      " <read_len> [insert_mean] [insert_std] [seed]\n";
   return 2;
 }
 
@@ -84,6 +88,7 @@ int cmd_index(int argc, char** argv) {
 
 int cmd_mem(int argc, char** argv) {
   align::DriverOptions opt;
+  bool interleaved = false;
   long long v = 0;
   int i = 0;
   for (; i < argc && argv[i][0] == '-'; ++i) {
@@ -98,6 +103,8 @@ int cmd_mem(int argc, char** argv) {
       opt.bsw_threads = static_cast<int>(v);
     } else if (!std::strcmp(argv[i], "--baseline")) {
       opt.mode = align::Mode::kBaseline;
+    } else if (!std::strcmp(argv[i], "-p")) {
+      interleaved = true;
     } else if (!std::strcmp(argv[i], "-k") && i + 1 < argc) {
       if (!parse_arg("-k", argv[++i], 1, INT_MAX, v)) return usage();
       opt.mem.seeding.min_seed_len = static_cast<int>(v);
@@ -109,7 +116,15 @@ int cmd_mem(int argc, char** argv) {
       return usage();
     }
   }
-  if (argc - i != 2) return usage();
+  const int n_pos = argc - i;
+  if (n_pos != 2 && n_pos != 3) return usage();
+  const bool two_files = n_pos == 3;
+  opt.paired = two_files || interleaved;
+  if (opt.paired && opt.batch_size % 2 != 0) {
+    ++opt.batch_size;
+    std::cerr << "[mem2] paired mode needs an even batch size; using -b "
+              << opt.batch_size << '\n';
+  }
 
   std::cerr << "[mem2] loading index " << argv[i] << "...\n";
   const auto index = index::load_index(argv[i]);
@@ -120,25 +135,41 @@ int cmd_mem(int argc, char** argv) {
     return 2;
   }
 
-  std::cerr << "[mem2] streaming " << argv[i + 1] << " ("
-            << (opt.mode == align::Mode::kBaseline ? "baseline" : "batch")
-            << ", " << opt.effective_workers() << " worker(s), batch "
-            << opt.batch_size << ")...\n";
+  std::cerr << "[mem2] streaming " << argv[i + 1]
+            << (two_files ? std::string(" + ") + argv[i + 2] : std::string())
+            << " (" << (opt.mode == align::Mode::kBaseline ? "baseline" : "batch")
+            << (opt.paired ? ", paired" : "") << ", " << opt.effective_workers()
+            << " worker(s), batch " << opt.batch_size << ")...\n";
 
   util::Timer t;
-  io::FastqStream fastq(argv[i + 1]);
   align::OstreamSamSink sink(std::cout);
   align::Stream stream = aligner.open(sink);
 
   // One batch is staged here, at most queue_depth + workers batches are in
   // flight inside the session: memory stays O(queue_depth × batch_size).
-  std::vector<seq::Read> chunk;
-  while (fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
+  const auto submit = [&](std::vector<seq::Read>&& chunk) {
     if (const auto st = stream.submit(std::move(chunk)); !st.ok()) {
       std::cerr << "mem2_cli: " << st.message() << '\n';
-      return 1;
+      return false;
     }
-    chunk = {};
+    return true;
+  };
+  std::vector<seq::Read> chunk;
+  if (opt.paired) {
+    auto paired = two_files
+                      ? io::PairedFastqStream(argv[i + 1], argv[i + 2])
+                      : io::PairedFastqStream(argv[i + 1]);
+    const auto pairs_per_chunk = static_cast<std::size_t>(opt.batch_size) / 2;
+    while (paired.next_chunk(chunk, pairs_per_chunk) > 0) {
+      if (!submit(std::move(chunk))) return 1;
+      chunk = {};
+    }
+  } else {
+    io::FastqStream fastq(argv[i + 1]);
+    while (fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
+      if (!submit(std::move(chunk))) return 1;
+      chunk = {};
+    }
   }
   if (const auto st = stream.finish(); !st.ok()) {
     std::cerr << "mem2_cli: " << st.message() << '\n';
@@ -147,6 +178,15 @@ int cmd_mem(int argc, char** argv) {
 
   std::cerr << "[mem2] " << stream.stats().reads << " reads -> "
             << sink.records_written() << " records in " << t.seconds() << "s\n";
+  if (opt.paired) {
+    const auto& c = stream.stats().counters;
+    std::cerr << "[mem2] insert stats: " << stream.pair_stats().summary() << '\n'
+              << "[mem2] proper_pairs=" << c.pe_proper_pairs
+              << " rescued_pairs=" << c.pe_rescued_pairs
+              << " rescue_windows=" << c.pe_rescue_windows
+              << " rescue_jobs=" << c.pe_rescue_jobs
+              << " rescue_hits=" << c.pe_rescue_hits << '\n';
+  }
   return 0;
 }
 
@@ -185,6 +225,43 @@ int cmd_wgsim(int argc, char** argv) {
   return 0;
 }
 
+int cmd_wgsim_pe(int argc, char** argv) {
+  if (argc < 5) return usage();
+  long long v = 0;
+  const auto ref = io::load_reference(argv[0]);
+  seq::PairSimConfig cfg;
+  if (!parse_arg("<n_pairs>", argv[3], 1, LLONG_MAX, v)) return usage();
+  cfg.num_pairs = v;
+  if (!parse_arg("<read_len>", argv[4], 1, INT_MAX, v)) return usage();
+  cfg.read_length = static_cast<int>(v);
+  if (argc > 5) {
+    if (!parse_arg("[insert_mean]", argv[5], 1, INT_MAX, v)) return usage();
+    cfg.insert_mean = static_cast<double>(v);
+  }
+  if (argc > 6) {
+    if (!parse_arg("[insert_std]", argv[6], 0, INT_MAX, v)) return usage();
+    cfg.insert_std = static_cast<double>(v);
+  }
+  if (argc > 7) {
+    if (!parse_arg("[seed]", argv[7], 0, LLONG_MAX, v)) return usage();
+    cfg.seed = static_cast<std::uint64_t>(v);
+  }
+  const auto pairs = seq::simulate_pairs(ref, cfg);
+  std::vector<seq::Read> r1, r2;
+  r1.reserve(pairs.size() / 2);
+  r2.reserve(pairs.size() / 2);
+  for (std::size_t p = 0; p + 1 < pairs.size(); p += 2) {
+    r1.push_back(pairs[p]);
+    r2.push_back(pairs[p + 1]);
+  }
+  io::write_fastq_file(argv[1], r1);
+  io::write_fastq_file(argv[2], r2);
+  std::cerr << "[mem2] wrote " << cfg.num_pairs << " x 2 x " << cfg.read_length
+            << " bp pairs (insert " << cfg.insert_mean << " +/- "
+            << cfg.insert_std << ") to " << argv[1] << " / " << argv[2] << '\n';
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +272,7 @@ int main(int argc, char** argv) {
     if (cmd == "mem") return cmd_mem(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "wgsim") return cmd_wgsim(argc - 2, argv + 2);
+    if (cmd == "wgsim-pe") return cmd_wgsim_pe(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "mem2_cli: " << e.what() << '\n';
     return 1;

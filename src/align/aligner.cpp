@@ -20,6 +20,8 @@
 // drivers, enforced by tests/test_pipeline.cpp).
 #include "align/aligner.h"
 
+#include "pair/pairing.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -56,6 +58,13 @@ struct Stream::Impl {
   std::uint64_t next_seq = 0;
   std::uint64_t reads_submitted = 0;
   bool finished = false;
+
+  // Paired-mode calibration (producer thread only until pe_ready; workers
+  // read pe_stats only via batches enqueued after it is final, so the
+  // queue mutex provides the ordering).
+  std::vector<seq::Read> calib;
+  pair::InsertStats pe_stats;
+  bool pe_ready = false;
 
   // Bounded batch queue.
   std::mutex q_mu;
@@ -113,6 +122,56 @@ struct Stream::Impl {
     return enqueue(std::move(item));
   }
 
+  /// Carve owned reads into staging/batches (the copying ingest path).
+  Status ingest(std::vector<seq::Read>&& chunk) {
+    const auto batch = static_cast<std::size_t>(options.batch_size);
+    if (staging.capacity() < batch) staging.reserve(batch);
+    for (auto& r : chunk) {
+      staging.push_back(std::move(r));
+      if (staging.size() == batch) {
+        std::vector<seq::Read> full;
+        full.reserve(batch);
+        full.swap(staging);
+        if (Status st = enqueue_owned(std::move(full)); !st.ok()) return st;
+      }
+    }
+    return Status();
+  }
+
+  /// Estimate the insert-size prior from the buffered calibration prefix,
+  /// then release the buffered reads into the normal batch flow.  Runs on
+  /// the producer thread; deterministic (depends only on submission order).
+  Status run_calibration() {
+    try {
+      const std::size_t n_pairs = std::min<std::size_t>(
+          static_cast<std::size_t>(options.pe.stat_pairs), calib.size() / 2);
+      if (n_pairs > 0) {
+        DriverOptions copt = options;
+        copt.paired = false;
+        BatchWorkspace cws;
+        std::vector<std::vector<AlnReg>> regs;
+        collect_regions(index, std::span(calib.data(), 2 * n_pairs), copt, cws,
+                        regs);
+        std::vector<pair::InsertSample> samples;
+        samples.reserve(n_pairs);
+        for (std::size_t p = 0; p < n_pairs; ++p) {
+          pair::InsertSample s;
+          if (pair::pair_sample(options.mem, options.pe, index.l_pac(),
+                                regs[2 * p], regs[2 * p + 1], &s))
+            samples.push_back(s);
+        }
+        pe_stats = pair::estimate_insert_stats(samples, options.pe);
+      }
+    } catch (const std::exception& e) {
+      fail(Status::invalid(e.what()));
+      return snapshot_status();
+    }
+    pe_ready = true;
+    std::vector<seq::Read> buffered;
+    buffered.swap(calib);
+    return ingest(std::move(buffered));
+  }
+
   void worker_main() {
     BatchWorkspace workspace;
     DriverOptions wopt = options;
@@ -138,7 +197,8 @@ struct Stream::Impl {
 
       try {
         per_read.clear();
-        align_chunk(index, item.reads, wopt, workspace, per_read, &local_stats);
+        align_chunk(index, item.reads, wopt, options.paired ? &pe_stats : nullptr,
+                    workspace, per_read, &local_stats);
 
         std::vector<io::SamRecord> flat;
         std::size_t total = 0;
@@ -186,18 +246,16 @@ Status Stream::submit(std::vector<seq::Read> chunk) {
   if (im.failed.load(std::memory_order_acquire)) return im.snapshot_status();
 
   im.reads_submitted += chunk.size();
-  const auto batch = static_cast<std::size_t>(im.options.batch_size);
-  if (im.staging.capacity() < batch) im.staging.reserve(batch);
-  for (auto& r : chunk) {
-    im.staging.push_back(std::move(r));
-    if (im.staging.size() == batch) {
-      std::vector<seq::Read> full;
-      full.reserve(batch);
-      full.swap(im.staging);
-      if (Status st = im.enqueue_owned(std::move(full)); !st.ok()) return st;
-    }
+  if (im.options.paired && !im.pe_ready) {
+    // Buffer until the calibration prefix is complete; nothing reaches the
+    // workers before the insert-size prior is fixed.
+    for (auto& r : chunk) im.calib.push_back(std::move(r));
+    if (im.calib.size() >=
+        2 * static_cast<std::size_t>(im.options.pe.stat_pairs))
+      return im.run_calibration();
+    return Status();
   }
-  return Status();
+  return im.ingest(std::move(chunk));
 }
 
 Status Stream::submit(std::span<const seq::Read> chunk) {
@@ -206,6 +264,14 @@ Status Stream::submit(std::span<const seq::Read> chunk) {
   if (im.failed.load(std::memory_order_acquire)) return im.snapshot_status();
 
   im.reads_submitted += chunk.size();
+  if (im.options.paired && !im.pe_ready) {
+    // Calibration buffers by copy; zero-copy resumes once the prior is set.
+    im.calib.insert(im.calib.end(), chunk.begin(), chunk.end());
+    if (im.calib.size() >=
+        2 * static_cast<std::size_t>(im.options.pe.stat_pairs))
+      return im.run_calibration();
+    return Status();
+  }
   const auto batch = static_cast<std::size_t>(im.options.batch_size);
 
   // Top up a partially staged batch first (copying) to preserve order.
@@ -239,9 +305,17 @@ Status Stream::finish() {
   if (im.finished) return im.snapshot_status();
   im.finished = true;
 
+  if (im.options.paired && !im.failed.load(std::memory_order_acquire)) {
+    if (im.reads_submitted % 2 != 0)
+      im.fail(Status::invalid(
+          "paired input requires an even number of reads (adjacent R1/R2 mates)"));
+    else if (!im.pe_ready)
+      im.run_calibration();  // short input: calibrate on what we have
+  }
   if (!im.failed.load(std::memory_order_acquire) && !im.staging.empty())
     im.enqueue_owned(std::move(im.staging));
   im.staging.clear();
+  im.calib.clear();
 
   {
     std::lock_guard<std::mutex> lk(im.q_mu);
@@ -260,6 +334,8 @@ Status Stream::finish() {
 Status Stream::status() const { return impl_->snapshot_status(); }
 
 const DriverStats& Stream::stats() const { return impl_->stats; }
+
+const pair::InsertStats& Stream::pair_stats() const { return impl_->pe_stats; }
 
 Aligner::Aligner(const index::Mem2Index& index, DriverOptions options)
     : index_(index), options_(options) {

@@ -18,6 +18,17 @@
 // through a reorder buffer so records reach the sink in read order.  Output
 // is byte-identical to align_reads() for any chunking, queue depth and
 // worker count (tests/test_stream_api.cpp).
+//
+// Paired mode (options.paired): submit() takes mates adjacent (R1, R2, R1,
+// R2, ...).  The session first buffers a calibration prefix (the first
+// options.pe.stat_pairs pairs), aligns it single-end on the producer
+// thread to estimate the insert-size distribution, then releases the
+// prefix and everything after it to the workers, which score pairs and run
+// mate rescue per batch against that fixed prior.  Because the prior
+// depends only on submission order — never on chunking, batching or thread
+// count — paired output keeps the same determinism guarantees as
+// single-end.  batch_size must be even so mates never split across
+// batches, and the ordered writer keeps each pair's records adjacent.
 #pragma once
 
 #include <memory>
@@ -60,6 +71,12 @@ class Stream {
 
   /// Aggregated driver stats across all workers; complete after finish().
   const DriverStats& stats() const;
+
+  /// Paired mode: the session's insert-size distribution, estimated once
+  /// from the first options.pe.stat_pairs pairs in submission order (or at
+  /// finish() for shorter inputs).  Zero-valued (all classes failed) until
+  /// calibration has run; stable afterwards.
+  const pair::InsertStats& pair_stats() const;
 
  private:
   friend class Aligner;

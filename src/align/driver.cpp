@@ -24,7 +24,8 @@ std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
 std::string sam_header_for(const index::Mem2Index& index, const DriverOptions& options) {
   const std::string pg =
       std::string("@PG\tID:mem2\tPN:mem2\tVN:1.0\tCL:mem2 ") +
-      (options.mode == Mode::kBaseline ? "--baseline" : "--batch");
+      (options.mode == Mode::kBaseline ? "--baseline" : "--batch") +
+      (options.paired ? " --paired" : "");
   return io::sam_header(index.ref(), pg);
 }
 

@@ -27,9 +27,11 @@
 #include <vector>
 
 #include "align/options.h"
+#include "align/region.h"
 #include "align/status.h"
 #include "index/mem2_index.h"
 #include "io/sam.h"
+#include "pair/insert_stats.h"
 #include "seq/read_sim.h"
 #include "util/sw_counters.h"
 #include "util/timer.h"
@@ -62,6 +64,14 @@ struct DriverOptions {
   /// flight, which bounds resident reads/records to
   /// O((queue_depth + workers) × batch_size).
   int queue_depth = 4;
+  /// Paired-end mode (batch driver only): reads arrive as adjacent mate
+  /// pairs (R1 at even indices, R2 at odd); batch_size must be even so a
+  /// batch never splits a pair.  The session estimates the insert-size
+  /// distribution once from the first pe.stat_pairs pairs, then scores
+  /// pairs and runs BSW-powered mate rescue per batch.  Output stays
+  /// deterministic across thread counts, chunkings and batch sizes.
+  bool paired = false;
+  pair::PairOptions pe;  // paired-end subsystem knobs
 
   int effective_bsw_threads() const {
     return bsw_threads > 0 ? bsw_threads : threads;
@@ -126,10 +136,28 @@ class BatchWorkspace {
 /// per_read is resized to reads.size(); output is independent of how reads
 /// are split into chunks and batches.  Options are assumed pre-validated
 /// (validate_driver_options) — the Aligner session does this once.
+/// In paired mode pe_stats (the session-wide insert-size prior) is
+/// required and reads.size() must be even.
 void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads,
-                 const DriverOptions& options, BatchWorkspace& workspace,
+                 const DriverOptions& options, const pair::InsertStats* pe_stats,
+                 BatchWorkspace& workspace,
                  std::vector<std::vector<io::SamRecord>>& per_read,
                  DriverStats* stats);
+inline void align_chunk(const index::Mem2Index& index,
+                        std::span<const seq::Read> reads,
+                        const DriverOptions& options, BatchWorkspace& workspace,
+                        std::vector<std::vector<io::SamRecord>>& per_read,
+                        DriverStats* stats) {
+  align_chunk(index, reads, options, nullptr, workspace, per_read, stats);
+}
+
+/// Run the batch pipeline's single-end stages only and return each read's
+/// post-processed region list (sort_dedup + mark_primary applied) — the
+/// input the paired-end calibration (pair::estimate_insert_stats) needs.
+/// Batch mode only; ignores options.paired.
+void collect_regions(const index::Mem2Index& index, std::span<const seq::Read> reads,
+                     const DriverOptions& options, BatchWorkspace& workspace,
+                     std::vector<std::vector<AlnReg>>& per_read_regs);
 
 /// Align reads single-end; returns SAM records in read order (each read may
 /// produce several records: primary + supplementary/secondary).  Thin

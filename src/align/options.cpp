@@ -4,6 +4,7 @@
 #include "align/options.h"
 
 #include "align/driver.h"
+#include "pair/mate_rescue.h"
 #include "smem/smem_executor.h"
 
 namespace mem2::align {
@@ -39,16 +40,33 @@ Status validate_driver_options(const DriverOptions& options) {
   static_assert(smem::SmemExecutor::kMaxInflight == 64,
                 "update the smem_inflight validation message");
   if (Status st = validate_options(options.mem); !st.ok()) return st;
-  return check(options.threads >= 1, "thread count must be >= 1",
-               options.batch_size >= 1, "batch size must be >= 1",
-               options.smem_inflight >= 1 &&
-                   options.smem_inflight <= smem::SmemExecutor::kMaxInflight,
-               "smem_inflight must be in [1, 64]",
-               options.bsw_threads >= 0,
-               "bsw_threads must be >= 0 (0 follows threads)",
-               options.pipeline_workers >= 0,
-               "pipeline_workers must be >= 0 (0 follows threads)",
-               options.queue_depth >= 1, "queue depth must be >= 1");
+  if (Status st = check(
+          options.threads >= 1, "thread count must be >= 1",
+          options.batch_size >= 1, "batch size must be >= 1",
+          options.smem_inflight >= 1 &&
+              options.smem_inflight <= smem::SmemExecutor::kMaxInflight,
+          "smem_inflight must be in [1, 64]",
+          options.bsw_threads >= 0,
+          "bsw_threads must be >= 0 (0 follows threads)",
+          options.pipeline_workers >= 0,
+          "pipeline_workers must be >= 0 (0 follows threads)",
+          options.queue_depth >= 1, "queue depth must be >= 1");
+      !st.ok())
+    return st;
+  if (!options.paired) return Status();
+  return check(options.mode == Mode::kBatch,
+               "paired mode requires the batch driver",
+               options.batch_size % 2 == 0,
+               "paired mode requires an even batch size (pairs stay adjacent)",
+               options.pe.stat_pairs >= 1, "pe.stat_pairs must be >= 1",
+               options.pe.min_dir_count >= 1, "pe.min_dir_count must be >= 1",
+               options.pe.max_ins >= 1, "pe.max_ins must be >= 1",
+               options.pe.max_matesw >= 0, "pe.max_matesw must be >= 0",
+               options.pe.rescue_seed_len >= 4,
+               "pe.rescue_seed_len must be >= 4",
+               options.pe.max_rescue_anchors >= 1 &&
+                   options.pe.max_rescue_anchors <= pair::kMaxRescueAnchors,
+               "pe.max_rescue_anchors must be in [1, 8]");
 }
 
 }  // namespace mem2::align

@@ -24,6 +24,7 @@ struct AlnReg {
   int seedlen0 = 0;      // length of the seed that generated the region
   int secondary = -1;    // index of the primary region, or -1 if primary
   float frac_rep = 0;
+  bool rescued = false;  // region produced by paired-end mate rescue
 
   bool operator==(const AlnReg&) const = default;
 };

@@ -22,18 +22,12 @@ int edit_distance(const bsw::Cigar& cigar, const seq::Code* query,
   return nm;
 }
 
-namespace {
-
-struct SamAln {
-  int rid = -1;
-  idx_t pos = 0;  // 0-based within contig
-  bool rev = false;
-  bsw::Cigar cigar;  // without clips
-  int clip5 = 0, clip3 = 0;  // query-order soft clips (after strand flip)
-  int score = 0;
-  int nm = 0;
-  int mapq = 0;
-};
+idx_t SamAln::ref_len() const {
+  idx_t len = 0;
+  for (const auto& op : cigar)
+    if (op.op == 'M' || op.op == 'D') len += op.len;
+  return len;
+}
 
 // bwa mem_reg2aln: fix the region endpoints into a concrete alignment.
 SamAln region_to_aln(const ExtendContext& ctx, const AlnReg& reg) {
@@ -117,7 +111,15 @@ io::SamRecord unmapped_record(const seq::Read& read) {
   return rec;
 }
 
-}  // namespace
+void fill_seq_qual(const seq::Read& read, bool rev, io::SamRecord& rec) {
+  if (!rev) {
+    rec.seq = read.bases;
+    rec.qual = read.qual;
+  } else {
+    rec.seq = seq::reverse_complement_ascii(read.bases);
+    rec.qual.assign(read.qual.rbegin(), read.qual.rend());
+  }
+}
 
 std::vector<io::SamRecord> regions_to_sam(const ExtendContext& ctx,
                                           const seq::Read& read,
@@ -143,13 +145,7 @@ std::vector<io::SamRecord> regions_to_sam(const ExtendContext& ctx,
     rec.pos = aln.pos + 1;  // SAM is 1-based
     rec.mapq = reg.secondary >= 0 ? 0 : approx_mapq(reg, ctx.opt);
     rec.cigar = cigar_with_clips(aln);
-    if (!aln.rev) {
-      rec.seq = read.bases;
-      rec.qual = read.qual;
-    } else {
-      rec.seq = seq::reverse_complement_ascii(read.bases);
-      rec.qual.assign(read.qual.rbegin(), read.qual.rend());
-    }
+    fill_seq_qual(read, aln.rev, rec);
     rec.tags = {"NM:i:" + std::to_string(aln.nm),
                 "AS:i:" + std::to_string(reg.score),
                 "XS:i:" + std::to_string(reg.sub)};

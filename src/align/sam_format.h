@@ -22,6 +22,36 @@ std::vector<io::SamRecord> regions_to_sam(const ExtendContext& ctx,
                                           const seq::Read& read,
                                           std::span<const AlnReg> regs);
 
+/// A region fixed into a concrete alignment (bwa mem_aln_t): contig-local
+/// position, strand, CIGAR and edit distance.  Shared between the
+/// single-end formatter and the paired-end emitter (src/pair/).
+struct SamAln {
+  int rid = -1;
+  idx_t pos = 0;  // 0-based within contig
+  bool rev = false;
+  bsw::Cigar cigar;          // without clips
+  int clip5 = 0, clip3 = 0;  // query-order soft clips (after strand flip)
+  int score = 0;
+  int nm = 0;
+  int mapq = 0;
+
+  /// Reference bases consumed (M+D) — the span SAM TLEN arithmetic needs.
+  idx_t ref_len() const;
+};
+
+/// bwa mem_reg2aln: fix the region endpoints into a concrete alignment
+/// (global re-alignment with an inferred band produces the CIGAR).
+SamAln region_to_aln(const ExtendContext& ctx, const AlnReg& reg);
+
+/// CIGAR string with the soft clips attached.
+std::string cigar_with_clips(const SamAln& aln);
+
+/// The record emitted for a read with no surviving region.
+io::SamRecord unmapped_record(const seq::Read& read);
+
+/// Fill SEQ/QUAL (strand-oriented) of a mapped record.
+void fill_seq_qual(const seq::Read& read, bool rev, io::SamRecord& rec);
+
 /// NM (edit distance) of an alignment path: walks the CIGAR comparing
 /// query and target codes; exposed for tests.
 int edit_distance(const bsw::Cigar& cigar, const seq::Code* query,

@@ -1,7 +1,6 @@
 #include "chain/chain.h"
 
 #include <algorithm>
-#include <map>
 
 namespace mem2::chain {
 
@@ -98,34 +97,42 @@ std::vector<Chain> build_chains(const seq::Reference& ref, idx_t l_pac,
                                 const ChainOptions& opt, double frac_rep) {
   (void)l_query;
   // bwa keeps chains in a btree keyed by chain pos; the lower bound of a
-  // seed's rbeg is the merge candidate.  std::map reproduces that exactly.
-  std::map<idx_t, Chain> tree;
+  // seed's rbeg is the merge candidate.  A flat key-sorted vector with
+  // binary search reproduces the same lower-bound merge semantics (including
+  // the minimal duplicate-key nudge) without the per-node mallocs and
+  // pointer chasing of a tree — chains per read number in the tens, so the
+  // O(n) insert shift is cheaper than the allocator traffic it replaces.
+  struct Entry {
+    idx_t key;
+    Chain chain;
+  };
+  std::vector<Entry> tree;
+  const auto key_less = [](const Entry& e, idx_t key) { return e.key < key; };
   for (const Seed& s : seeds) {
     const int rid = interval_rid(ref, l_pac, s.rbeg, s.len);
     if (rid < 0) continue;  // crosses a boundary: discarded (as in bwa)
     bool added = false;
-    if (!tree.empty()) {
-      auto it = tree.upper_bound(s.rbeg);
-      if (it != tree.begin()) {
-        --it;
-        added = test_and_merge(opt, l_pac, it->second, s, rid);
-      }
-    }
+    // upper_bound(s.rbeg) then step back = last entry with key <= s.rbeg.
+    auto it = std::lower_bound(tree.begin(), tree.end(), s.rbeg + 1, key_less);
+    if (it != tree.begin())
+      added = test_and_merge(opt, l_pac, std::prev(it)->chain, s, rid);
     if (!added) {
       Chain c;
       c.pos = s.rbeg;
       c.rid = rid;
       c.frac_rep = static_cast<float>(frac_rep);
       c.seeds.push_back(s);
-      // Duplicate key: bwa's btree keeps both; nudge the key minimally.
+      // Duplicate key: bwa's btree keeps both; nudge the key minimally
+      // (identical key assignment to the old std::map-based code).
       idx_t key = s.rbeg;
-      while (tree.count(key)) ++key;
-      tree.emplace(key, std::move(c));
+      auto pos = std::lower_bound(tree.begin(), tree.end(), key, key_less);
+      while (pos != tree.end() && pos->key == key) ++key, ++pos;
+      tree.insert(pos, Entry{key, std::move(c)});
     }
   }
   std::vector<Chain> chains;
   chains.reserve(tree.size());
-  for (auto& [key, c] : tree) chains.push_back(std::move(c));
+  for (auto& e : tree) chains.push_back(std::move(e.chain));
   return chains;
 }
 

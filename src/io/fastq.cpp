@@ -63,6 +63,49 @@ std::size_t FastqStream::next_chunk(std::vector<seq::Read>& out, std::size_t max
   return out.size();
 }
 
+PairedFastqStream::PairedFastqStream(const std::string& path1,
+                                     const std::string& path2)
+    : s1_(path1),
+      s2_(std::make_unique<FastqStream>(path2)),
+      path1_(path1),
+      path2_(path2) {}
+
+PairedFastqStream::PairedFastqStream(const std::string& interleaved_path)
+    : s1_(interleaved_path), path1_(interleaved_path) {}
+
+bool PairedFastqStream::next_pair(seq::Read& r1, seq::Read& r2) {
+  if (s2_) {
+    const bool got1 = s1_.next_read(r1);
+    const bool got2 = s2_->next_read(r2);
+    if (got1 != got2)
+      throw io_error("paired FASTQ: '" + (got1 ? path2_ : path1_) +
+                     "' has fewer reads than '" + (got1 ? path1_ : path2_) +
+                     "' (the files must have the same read count)");
+    if (!got1) return false;
+  } else {
+    if (!s1_.next_read(r1)) return false;
+    if (!s1_.next_read(r2))
+      throw io_error("paired FASTQ: interleaved file '" + path1_ +
+                     "' ends mid-pair (odd number of reads)");
+  }
+  ++pairs_parsed_;
+  return true;
+}
+
+std::size_t PairedFastqStream::next_chunk(std::vector<seq::Read>& out,
+                                          std::size_t max_pairs) {
+  out.clear();
+  if (out.capacity() < 2 * max_pairs) out.reserve(2 * max_pairs);
+  seq::Read r1, r2;
+  std::size_t n = 0;
+  while (n < max_pairs && next_pair(r1, r2)) {
+    out.push_back(std::move(r1));
+    out.push_back(std::move(r2));
+    ++n;
+  }
+  return n;
+}
+
 std::vector<seq::Read> read_fastq(std::istream& in) {
   FastqStream stream(in);
   std::vector<seq::Read> reads;

@@ -47,6 +47,35 @@ class FastqStream {
   std::uint64_t reads_parsed_ = 0;
 };
 
+/// Paired FASTQ input: two parallel files (R1 + R2) or one interleaved
+/// file.  Emits mates adjacent (R1, R2, R1, R2, ...), the layout the
+/// paired Aligner session expects.  Throws io_error with a clear message
+/// when the two files have different read counts (or an interleaved file
+/// ends mid-pair) instead of silently truncating to the shorter input.
+class PairedFastqStream {
+ public:
+  /// Two parallel files.
+  PairedFastqStream(const std::string& path1, const std::string& path2);
+  /// One interleaved file.
+  explicit PairedFastqStream(const std::string& interleaved_path);
+
+  /// Parse the next pair.  Returns false at end of input; throws io_error
+  /// if exactly one of the two streams is exhausted.
+  bool next_pair(seq::Read& r1, seq::Read& r2);
+
+  /// Clear `out` and refill with up to max_pairs pairs (2 * max_pairs
+  /// reads), mates adjacent.  Returns the number of pairs parsed.
+  std::size_t next_chunk(std::vector<seq::Read>& out, std::size_t max_pairs);
+
+  std::uint64_t pairs_parsed() const { return pairs_parsed_; }
+
+ private:
+  FastqStream s1_;
+  std::unique_ptr<FastqStream> s2_;  // null for interleaved input
+  std::string path1_, path2_;
+  std::uint64_t pairs_parsed_ = 0;
+};
+
 /// Parse all reads.  Throws io_error on structural errors (missing '+',
 /// quality/sequence length mismatch, truncated record).
 std::vector<seq::Read> read_fastq(std::istream& in);

@@ -14,10 +14,16 @@
 
 namespace mem2::io {
 
-/// SAM FLAG bits (subset used for single-end alignment).
+/// SAM FLAG bits (single-end subset plus the paired-end template bits).
 enum SamFlag : int {
+  kFlagPaired = 0x1,
+  kFlagProperPair = 0x2,
   kFlagUnmapped = 0x4,
+  kFlagMateUnmapped = 0x8,
   kFlagReverse = 0x10,
+  kFlagMateReverse = 0x20,
+  kFlagRead1 = 0x40,
+  kFlagRead2 = 0x80,
   kFlagSecondary = 0x100,
   kFlagSupplementary = 0x800,
 };

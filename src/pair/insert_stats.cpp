@@ -1,0 +1,87 @@
+#include "pair/insert_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace mem2::pair {
+
+std::string InsertStats::summary() const {
+  static const char* names[4] = {"FF", "FR", "RF", "RR"};
+  std::ostringstream os;
+  os << "pairs_sampled=" << pairs_sampled;
+  for (int d = 0; d < 4; ++d) {
+    os << ' ' << names[d] << ":count=" << dir[d].count;
+    if (dir[d].failed) {
+      os << ",failed";
+    } else {
+      os << ",mean=" << dir[d].mean << ",std=" << dir[d].std
+         << ",low=" << dir[d].low << ",high=" << dir[d].high;
+    }
+  }
+  return os.str();
+}
+
+InsertStats estimate_insert_stats(std::span<const InsertSample> samples,
+                                  const PairOptions& opt) {
+  InsertStats stats;
+  std::vector<idx_t> isize[4];
+  for (const auto& s : samples) {
+    if (s.dir < 0 || s.dir > 3) continue;
+    if (s.dist < 1 || s.dist > opt.max_ins) continue;
+    isize[s.dir].push_back(s.dist);
+    ++stats.pairs_sampled;
+  }
+
+  std::size_t max_count = 0;
+  for (const auto& v : isize) max_count = std::max(max_count, v.size());
+
+  for (int d = 0; d < 4; ++d) {
+    DirStats& r = stats.dir[d];
+    std::vector<idx_t>& q = isize[d];
+    r.count = q.size();
+    if (q.size() < static_cast<std::size_t>(opt.min_dir_count) ||
+        static_cast<double>(q.size()) <
+            static_cast<double>(max_count) * opt.min_dir_ratio)
+      continue;  // failed
+    std::sort(q.begin(), q.end());
+    const auto at = [&](double f) {
+      // bwa's rounding can land one past the end for tiny classes (e.g. a
+      // caller lowering min_dir_count); clamp to the last sample.
+      const auto i = std::min(
+          static_cast<std::size_t>(f * static_cast<double>(q.size()) + .499),
+          q.size() - 1);
+      return static_cast<double>(q[i]);
+    };
+    const double p25 = at(.25), p75 = at(.75);
+    // Outlier-trimmed mean/std (bwa mem_pestat).
+    double low = p25 - opt.outlier_bound * (p75 - p25);
+    if (low < 1) low = 1;
+    const double high = p75 + opt.outlier_bound * (p75 - p25);
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (idx_t v : q)
+      if (v >= low && v <= high) sum += static_cast<double>(v), ++n;
+    r.mean = sum / static_cast<double>(n);
+    double var = 0;
+    for (idx_t v : q)
+      if (v >= low && v <= high)
+        var += (static_cast<double>(v) - r.mean) * (static_cast<double>(v) - r.mean);
+    r.std = std::sqrt(var / static_cast<double>(n));
+    if (r.std < 1e-9) r.std = 1e-9;  // degenerate exact-insert libraries
+    // Accepted pairing range: the wider of the IQR mapping bound and the
+    // MAX_STDDEV sigma envelope (bwa's final low/high assignment).
+    r.low = static_cast<int>(p25 - opt.mapping_bound * (p75 - p25) + .499);
+    r.high = static_cast<int>(p75 + opt.mapping_bound * (p75 - p25) + .499);
+    if (r.low > static_cast<int>(r.mean - opt.max_stddev * r.std + .499))
+      r.low = static_cast<int>(r.mean - opt.max_stddev * r.std + .499);
+    if (r.high < static_cast<int>(r.mean + opt.max_stddev * r.std + .499))
+      r.high = static_cast<int>(r.mean + opt.max_stddev * r.std + .499);
+    if (r.low < 1) r.low = 1;
+    r.failed = false;
+  }
+  return stats;
+}
+
+}  // namespace mem2::pair

@@ -1,0 +1,200 @@
+#include "pair/mate_rescue.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "seq/pack.h"
+
+namespace mem2::pair {
+
+using align::AlnReg;
+
+bool rescue_window(const seq::Reference& ref, idx_t l_pac, const AlnReg& a,
+                   const DirStats& pes, int dir, int l_ms, int min_len,
+                   RescueWindow* out) {
+  // bwa mem_matesw window formulas: where the mate's (possibly
+  // reverse-complemented) sequence should match, in doubled coordinates.
+  const bool is_rev = (dir >> 1) != (dir & 1);
+  const bool is_larger = !(dir >> 1);  // mate at the larger coordinate
+  idx_t rb, re;
+  if (!is_rev) {
+    rb = is_larger ? a.rb + pes.low : a.rb - pes.high;
+    re = (is_larger ? a.rb + pes.high : a.rb - pes.low) + l_ms;
+  } else {
+    rb = (is_larger ? a.rb + pes.low : a.rb - pes.high) - l_ms;
+    re = is_larger ? a.rb + pes.high : a.rb - pes.low;
+  }
+  rb = std::max<idx_t>(rb, 0);
+  re = std::min<idx_t>(re, 2 * l_pac);
+  if (rb >= re) return false;
+  // Keep the window on one strand (bns_fetch_seq recenters; we keep the
+  // side holding the window's midpoint).
+  if (rb < l_pac && re > l_pac) {
+    if ((rb + re) / 2 < l_pac)
+      re = l_pac;
+    else
+      rb = l_pac;
+  }
+  // Clamp to the anchor's contig, expressed on the window's strand.
+  const auto& contig = ref.contigs()[static_cast<std::size_t>(a.rid)];
+  if (rb >= l_pac) {
+    rb = std::max(rb, 2 * l_pac - (contig.offset + contig.length));
+    re = std::min(re, 2 * l_pac - contig.offset);
+  } else {
+    rb = std::max(rb, contig.offset);
+    re = std::min(re, contig.offset + contig.length);
+  }
+  if (re - rb < std::max<idx_t>(min_len, 1)) return false;
+  out->rb = rb;
+  out->re = re;
+  out->is_rev = is_rev;
+  return true;
+}
+
+int scan_rescue_anchors(std::span<const seq::Code> seq,
+                        std::span<const seq::Code> win, int k, int max_anchors,
+                        RescueAnchor* out) {
+  const int l_seq = static_cast<int>(seq.size());
+  const int l_win = static_cast<int>(win.size());
+  if (k <= 0 || l_seq < k || l_win < k) return 0;
+  max_anchors = std::min(max_anchors, kMaxRescueAnchors);
+
+  // Probe k-mers at non-overlapping query offsets; skip probes containing
+  // an ambiguous base (N "matches" nothing meaningful).
+  int probes[64];
+  int n_probes = 0;
+  for (int q0 = 0; q0 + k <= l_seq && n_probes < 64; q0 += k) {
+    bool ambig = false;
+    for (int j = 0; j < k; ++j) ambig |= seq[static_cast<std::size_t>(q0 + j)] > 3;
+    if (!ambig) probes[n_probes++] = q0;
+  }
+
+  int n = 0;
+  int diagonals[kMaxRescueAnchors];
+  for (int t = 0; t + k <= l_win && n < max_anchors; ++t) {
+    for (int p = 0; p < n_probes && n < max_anchors; ++p) {
+      const int q0 = probes[p];
+      const int diag = t - q0;
+      bool seen = false;
+      for (int d = 0; d < n; ++d) seen |= diagonals[d] == diag;
+      if (seen) continue;
+      if (std::memcmp(seq.data() + q0, win.data() + t,
+                      static_cast<std::size_t>(k)) != 0)
+        continue;
+      out[n].qbeg = q0;
+      out[n].tbeg = t;
+      out[n].len = k;
+      out[n].have_left = out[n].have_right = false;
+      diagonals[n] = diag;
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+/// Per-anchor endpoint math — the same left/right combination rules as
+/// process_chains (bwa mem_chain2aln), in (seq, window) local coordinates.
+struct LocalAln {
+  int qb = 0, qe = 0;
+  int tb = 0, te = 0;
+  int score = 0, truesc = 0;
+};
+
+bool anchor_to_local(const align::MemOptions& opt, const RescueAnchor& an,
+                     int l_ms, int l_win, LocalAln* out) {
+  const int a = opt.ksw.a;
+  LocalAln r;
+  if (an.qbeg > 0) {
+    if (!an.have_left) return false;
+    const auto& lr = an.left;
+    r.score = lr.score;
+    if (lr.gscore <= 0 || lr.gscore <= lr.score - opt.ksw.end_bonus) {
+      r.qb = an.qbeg - lr.qle;
+      r.tb = an.tbeg - lr.tle;
+      r.truesc = lr.score;
+    } else {
+      r.qb = 0;
+      r.tb = an.tbeg - lr.gtle;
+      r.truesc = lr.gscore;
+    }
+  } else {
+    r.score = r.truesc = an.len * a;
+    r.qb = 0;
+    r.tb = an.tbeg;
+  }
+  if (an.qbeg + an.len != l_ms) {
+    if (!an.have_right) return false;
+    const int sc0 = r.score;
+    const auto& rr = an.right;
+    r.score = rr.score;
+    if (rr.gscore <= 0 || rr.gscore <= rr.score - opt.ksw.end_bonus) {
+      r.qe = an.qbeg + an.len + rr.qle;
+      r.te = an.tbeg + an.len + rr.tle;
+      r.truesc += rr.score - sc0;
+    } else {
+      r.qe = l_ms;
+      r.te = an.tbeg + an.len + rr.gtle;
+      r.truesc += rr.gscore - sc0;
+    }
+  } else {
+    r.qe = l_ms;
+    r.te = an.tbeg + an.len;
+  }
+  (void)l_win;
+  *out = r;
+  return true;
+}
+
+}  // namespace
+
+bool finalize_rescue(const align::MemOptions& opt, idx_t l_pac,
+                     const RescueAttempt& attempt, int l_ms, float frac_rep,
+                     AlnReg* out) {
+  const int l_win = static_cast<int>(attempt.win.size());
+  bool found = false;
+  LocalAln best;
+  int best_tbeg = 0;
+  for (int i = 0; i < attempt.n_anchors; ++i) {
+    LocalAln cand;
+    if (!anchor_to_local(opt, attempt.anchors[i], l_ms, l_win, &cand)) continue;
+    if (!found || cand.score > best.score ||
+        (cand.score == best.score && attempt.anchors[i].tbeg < best_tbeg)) {
+      best = cand;
+      best_tbeg = attempt.anchors[i].tbeg;
+      found = true;
+    }
+  }
+  if (!found || best.score < opt.seeding.min_seed_len * opt.ksw.a) return false;
+
+  // Map back into the mate's own strand representation (bwa mem_matesw):
+  // when the window aligned the reverse complement, flip both axes.
+  AlnReg b;
+  b.rid = attempt.rid;
+  if (!attempt.is_rev) {
+    b.qb = best.qb;
+    b.qe = best.qe;
+    b.rb = attempt.win_rb + best.tb;
+    b.re = attempt.win_rb + best.te;
+  } else {
+    b.qb = l_ms - best.qe;
+    b.qe = l_ms - best.qb;
+    b.rb = 2 * l_pac - (attempt.win_rb + best.te);
+    b.re = 2 * l_pac - (attempt.win_rb + best.tb);
+  }
+  b.score = best.score;
+  b.truesc = best.truesc;
+  b.sub = b.csub = 0;
+  b.w = opt.w;
+  b.seedcov = static_cast<int>(
+      std::min<idx_t>(b.re - b.rb, static_cast<idx_t>(b.qe - b.qb)) >> 1);
+  b.seedlen0 = attempt.n_anchors ? attempt.anchors[0].len : 0;
+  b.secondary = -1;
+  b.frac_rep = frac_rep;
+  b.rescued = true;
+  *out = b;
+  return true;
+}
+
+}  // namespace mem2::pair

@@ -1,0 +1,75 @@
+// Pair scoring and paired-end SAM emission (bwa mem_pair + mem_sam_pe).
+//
+// Given both mates' post-processed single-end region lists and the
+// session-wide insert-size prior (insert_stats.h), pick the most consistent
+// pair of regions — each candidate pair's score is the two local scores
+// plus a log-likelihood bonus of its insert under the estimated
+// distribution — and decide between the paired and the unpaired
+// interpretation (bwa's pen_unpaired trade-off).  Paired mapq blends the
+// single-end estimate with the pair-level evidence exactly as bwa does.
+//
+// Deviations from bwa, chosen for determinism across chunkings (bwa's
+// output depends on the global read index via a hash tie-break, ours must
+// not): candidate ties break on (score, entry order) instead of hash_64,
+// and the paired branch also emits supplementary records (bwa's paired
+// branch emits exactly one record per mate; our single-end formatter has
+// always emitted supplementaries, and keeping that in paired mode keeps the
+// two modes' record sets comparable).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "align/extend.h"
+#include "align/region.h"
+#include "align/sam_format.h"
+#include "io/sam.h"
+#include "pair/insert_stats.h"
+
+namespace mem2::pair {
+
+/// bwa's raw_mapq: phred-scale a score difference.
+inline int raw_mapq(int diff, int a) {
+  return static_cast<int>(6.02 * diff / a + .499);
+}
+
+/// bwa cal_sub: the best score among regions NOT query-overlapping the best
+/// region — the "competing locus" score used to test alignment uniqueness.
+int competing_sub(const align::MemOptions& opt, std::span<const align::AlnReg> regs);
+
+/// Extract the (orientation, distance) calibration sample of one pair, or
+/// return false when either mate lacks a unique high-confidence best hit
+/// (bwa mem_pestat's per-pair filter).
+bool pair_sample(const align::MemOptions& opt, const PairOptions& popt,
+                 idx_t l_pac, std::span<const align::AlnReg> regs1,
+                 std::span<const align::AlnReg> regs2, InsertSample* out);
+
+/// Outcome of pairing one read pair.
+struct PairDecision {
+  int z[2] = {-1, -1};   // chosen region index per mate; -1 = unmapped
+  bool proper = false;   // paired interpretation won (SAM flag 0x2)
+  int mapq[2] = {0, 0};  // mapq of the chosen primaries
+  int pair_score = 0;    // best pair score (o in bwa)
+  int pair_sub = 0;      // second-best pair score
+  int n_sub = 0;         // near-equal suboptimal pairs
+};
+
+/// bwa mem_pair + the mem_sam_pe decision logic.  regs[i] must be
+/// sort_dedup'ed and mark_primary'ed (score-descending, secondaries
+/// annotated).  Only fills z/proper/mapq; emission is pair_to_sam below.
+PairDecision pair_and_score(const align::MemOptions& opt, const PairOptions& popt,
+                            idx_t l_pac, const InsertStats& pes,
+                            std::span<const align::AlnReg> regs1,
+                            std::span<const align::AlnReg> regs2);
+
+/// Emit both mates' SAM records with the paired FLAG bits, RNEXT/PNEXT/TLEN
+/// and mate strand/unmapped bits filled from the other mate's primary.
+/// Appends to out1/out2 (one vector per mate so the driver can keep records
+/// in read order).
+void pair_to_sam(const align::ExtendContext& ctx1, const align::ExtendContext& ctx2,
+                 const seq::Read& read1, const seq::Read& read2,
+                 std::span<const align::AlnReg> regs1,
+                 std::span<const align::AlnReg> regs2, const PairDecision& decision,
+                 std::vector<io::SamRecord>& out1, std::vector<io::SamRecord>& out2);
+
+}  // namespace mem2::pair

@@ -1,11 +1,62 @@
 #include "seq/read_sim.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/common.h"
 #include "util/rng.h"
 
 namespace mem2::seq {
+
+namespace {
+
+/// wgsim-style error injection: copy template bases into a read of
+/// read_length, with substitution/insertion/deletion errors and two-level
+/// qualities.  Consumes the RNG in the exact order the original
+/// simulate_reads loop did, so single-end streams stay bit-identical.
+void apply_errors(util::Xoshiro256ss& rng, const std::vector<Code>& tpl,
+                  int read_length, double sub_rate, double ins_rate,
+                  double del_rate, char qual_high, char qual_low, Read& r) {
+  r.bases.clear();
+  r.qual.clear();
+  r.bases.reserve(static_cast<std::size_t>(read_length));
+  r.qual.reserve(static_cast<std::size_t>(read_length));
+  std::size_t t = 0;
+  while (static_cast<int>(r.bases.size()) < read_length && t < tpl.size()) {
+    if (rng.chance(del_rate)) {
+      ++t;  // skip a template base
+      continue;
+    }
+    if (rng.chance(ins_rate)) {
+      r.bases.push_back(code_to_char(static_cast<Code>(rng.below(4))));
+      r.qual.push_back(qual_low);
+      continue;
+    }
+    Code c = tpl[t++];
+    if (rng.chance(sub_rate)) {
+      c = static_cast<Code>((c + 1 + rng.below(3)) & 3);
+      r.bases.push_back(code_to_char(c));
+      r.qual.push_back(qual_low);
+    } else {
+      r.bases.push_back(code_to_char(c));
+      r.qual.push_back(qual_high);
+    }
+  }
+  // Pad in the (rare) case deletions exhausted the template.
+  while (static_cast<int>(r.bases.size()) < read_length) {
+    r.bases.push_back(code_to_char(static_cast<Code>(rng.below(4))));
+    r.qual.push_back(qual_low);
+  }
+}
+
+/// Standard normal deviate (Box-Muller).
+double gauss(util::Xoshiro256ss& rng) {
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
 
 std::vector<Read> simulate_reads(const Reference& ref, const ReadSimConfig& cfg) {
   MEM2_REQUIRE(cfg.read_length > 0, "read length must be positive");
@@ -39,40 +90,100 @@ std::vector<Read> simulate_reads(const Reference& ref, const ReadSimConfig& cfg)
     if (reverse) reverse_complement_inplace(tpl);
 
     Read r;
-    r.bases.reserve(static_cast<std::size_t>(cfg.read_length));
-    r.qual.reserve(static_cast<std::size_t>(cfg.read_length));
-
-    std::size_t t = 0;
-    while (static_cast<int>(r.bases.size()) < cfg.read_length && t < tpl.size()) {
-      if (rng.chance(cfg.deletion_rate)) {
-        ++t;  // skip a template base
-        continue;
-      }
-      if (rng.chance(cfg.insertion_rate)) {
-        r.bases.push_back(code_to_char(static_cast<Code>(rng.below(4))));
-        r.qual.push_back(cfg.qual_low);
-        continue;
-      }
-      Code c = tpl[t++];
-      if (rng.chance(cfg.substitution_rate)) {
-        c = static_cast<Code>((c + 1 + rng.below(3)) & 3);
-        r.bases.push_back(code_to_char(c));
-        r.qual.push_back(cfg.qual_low);
-      } else {
-        r.bases.push_back(code_to_char(c));
-        r.qual.push_back(cfg.qual_high);
-      }
-    }
-    // Pad in the (rare) case deletions exhausted the template.
-    while (static_cast<int>(r.bases.size()) < cfg.read_length) {
-      r.bases.push_back(code_to_char(static_cast<Code>(rng.below(4))));
-      r.qual.push_back(cfg.qual_low);
-    }
+    apply_errors(rng, tpl, cfg.read_length, cfg.substitution_rate,
+                 cfg.insertion_rate, cfg.deletion_rate, cfg.qual_high,
+                 cfg.qual_low, r);
 
     const Contig& c = ref.contigs()[static_cast<std::size_t>(contig_idx)];
     r.name = cfg.name_prefix + "_" + std::to_string(n) + ":" + c.name + ":" +
              std::to_string(start - c.offset) + ":" + (reverse ? "-" : "+");
     reads.push_back(std::move(r));
+  }
+  return reads;
+}
+
+std::vector<Read> simulate_pairs(const Reference& ref, const PairSimConfig& cfg) {
+  MEM2_REQUIRE(cfg.read_length > 0, "read length must be positive");
+  MEM2_REQUIRE(cfg.insert_mean >= cfg.read_length,
+               "insert mean must cover one read");
+
+  util::Xoshiro256ss rng(cfg.seed);
+  std::vector<Read> reads;
+  reads.reserve(static_cast<std::size_t>(2 * cfg.num_pairs));
+
+  // Over-sample each mate's template so deletions can still fill it.
+  const std::int64_t tl = cfg.read_length + 16;
+
+  for (std::int64_t n = 0; n < cfg.num_pairs; ++n) {
+    // Fragment length, clamped so both mate templates fit inside it.
+    std::int64_t isize = static_cast<std::int64_t>(
+        cfg.insert_mean + cfg.insert_std * gauss(rng) + .5);
+    isize = std::max(isize, tl);
+
+    // Place the fragment: contig weighted by length, fragment fully inside.
+    idx_t start = 0;
+    int contig_idx = 0;
+    for (int tries = 0;; ++tries) {
+      MEM2_REQUIRE(tries < 1024, "cannot place fragment: contigs too short");
+      const idx_t pos =
+          static_cast<idx_t>(rng.below(static_cast<std::uint64_t>(ref.length())));
+      auto [ci, off] = ref.locate(pos);
+      const Contig& c = ref.contigs()[static_cast<std::size_t>(ci)];
+      if (off + isize <= c.length) {
+        contig_idx = ci;
+        start = pos;
+        break;
+      }
+    }
+    const Contig& c = ref.contigs()[static_cast<std::size_t>(contig_idx)];
+
+    // FR orientation: one mate reads inward from each fragment end, so the
+    // right-end template is always the reverse-complemented one; the
+    // fragment strand only decides which mate gets which end.
+    const bool frag_rev = rng.chance(0.5);
+    std::vector<Code> tpl_left = ref.slice(start, start + tl);
+    std::vector<Code> tpl_right = ref.slice(start + isize - tl, start + isize);
+    reverse_complement_inplace(tpl_right);
+
+    Read r1, r2;
+    const std::vector<Code>& tpl1 = frag_rev ? tpl_right : tpl_left;
+    const std::vector<Code>& tpl2 = frag_rev ? tpl_left : tpl_right;
+    // Truth: leftmost template coordinate + strand per mate.
+    const std::int64_t left_pos = start - c.offset;
+    const std::int64_t right_pos = start + isize - tl - c.offset;
+    const std::int64_t pos1 = frag_rev ? right_pos : left_pos;
+    const std::int64_t pos2 = frag_rev ? left_pos : right_pos;
+    const bool rev1 = frag_rev, rev2 = !frag_rev;
+
+    apply_errors(rng, tpl1, cfg.read_length, cfg.substitution_rate,
+                 cfg.insertion_rate, cfg.deletion_rate, cfg.qual_high,
+                 cfg.qual_low, r1);
+    apply_errors(rng, tpl2, cfg.read_length, cfg.substitution_rate,
+                 cfg.insertion_rate, cfg.deletion_rate, cfg.qual_high,
+                 cfg.qual_low, r2);
+
+    // Damaged mates: periodic substitutions defeat exact seeding (period <
+    // min_seed_len) while leaving the read SW-alignable — the mate-rescue
+    // workload.
+    if (cfg.damage_fraction > 0 && rng.chance(cfg.damage_fraction)) {
+      const int period = std::max(2, cfg.damage_period);
+      const int phase = static_cast<int>(rng.below(static_cast<std::uint64_t>(period)));
+      for (int j = phase; j < static_cast<int>(r2.bases.size()); j += period) {
+        const Code cur = char_to_code(r2.bases[static_cast<std::size_t>(j)]);
+        const Code alt = static_cast<Code>((cur + 1 + rng.below(3)) & 3);
+        r2.bases[static_cast<std::size_t>(j)] = code_to_char(alt);
+        r2.qual[static_cast<std::size_t>(j)] = cfg.qual_low;
+      }
+    }
+
+    const std::string name =
+        cfg.name_prefix + "_" + std::to_string(n) + ":" + c.name + ":" +
+        std::to_string(pos1) + ":" + (rev1 ? "-" : "+") + ":" +
+        std::to_string(pos2) + ":" + (rev2 ? "-" : "+");
+    r1.name = name;
+    r2.name = name;
+    reads.push_back(std::move(r1));
+    reads.push_back(std::move(r2));
   }
   return reads;
 }
@@ -93,6 +204,30 @@ ReadTruth parse_truth(const std::string& name) {
     return t;
   }
   t.reverse = name[c3 + 1] == '-';
+  t.valid = true;
+  return t;
+}
+
+PairTruth parse_pair_truth(const std::string& name) {
+  PairTruth t;
+  // <prefix>_<n>:<contig>:<pos1>:<s1>:<pos2>:<s2>
+  std::size_t cols[5];
+  std::size_t from = 0;
+  for (int i = 0; i < 5; ++i) {
+    cols[i] = name.find(':', from);
+    if (cols[i] == std::string::npos) return t;
+    from = cols[i] + 1;
+  }
+  if (cols[4] + 1 >= name.size()) return t;
+  t.contig = name.substr(cols[0] + 1, cols[1] - cols[0] - 1);
+  try {
+    t.pos1 = std::stoll(name.substr(cols[1] + 1, cols[2] - cols[1] - 1));
+    t.pos2 = std::stoll(name.substr(cols[3] + 1, cols[4] - cols[3] - 1));
+  } catch (...) {
+    return t;
+  }
+  t.reverse1 = name[cols[2] + 1] == '-';
+  t.reverse2 = name[cols[4] + 1] == '-';
   t.valid = true;
   return t;
 }

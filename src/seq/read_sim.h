@@ -36,6 +36,33 @@ struct ReadSimConfig {
 
 std::vector<Read> simulate_reads(const Reference& ref, const ReadSimConfig& config);
 
+/// Paired-end simulation: FR fragments with a normally distributed insert
+/// size.  Mates are emitted adjacent (R1 at even indices, R2 at odd) and
+/// share a name carrying both mates' truth
+/// (<prefix>_<n>:<contig>:<pos1>:<s1>:<pos2>:<s2>).
+struct PairSimConfig {
+  std::uint64_t seed = 7;
+  int read_length = 101;
+  std::int64_t num_pairs = 5000;
+  double insert_mean = 400.0;  // outer fragment length
+  double insert_std = 40.0;
+  double substitution_rate = 0.008;
+  double insertion_rate = 0.0002;
+  double deletion_rate = 0.0002;
+  /// Fraction of pairs whose R2 is "damaged": substitutions spaced every
+  /// damage_period bases.  With damage_period < min_seed_len the mate has
+  /// no exact seed for SMEM seeding and goes unmapped single-end, yet a
+  /// banded-SW mate rescue still recovers it — the workload that makes the
+  /// rescue path measurable.
+  double damage_fraction = 0.0;
+  int damage_period = 12;
+  char qual_high = 'I';
+  char qual_low = '#';
+  std::string name_prefix = "p";
+};
+
+std::vector<Read> simulate_pairs(const Reference& ref, const PairSimConfig& config);
+
 /// Parse the truth encoded in a simulated read name.
 struct ReadTruth {
   std::string contig;
@@ -44,6 +71,16 @@ struct ReadTruth {
   bool valid = false;
 };
 ReadTruth parse_truth(const std::string& read_name);
+
+/// Truth of a simulated pair (both mates).  parse_truth on a pair name
+/// yields mate 1's coordinates; this yields both.
+struct PairTruth {
+  std::string contig;
+  std::int64_t pos1 = -1, pos2 = -1;  // 0-based within contig
+  bool reverse1 = false, reverse2 = false;
+  bool valid = false;
+};
+PairTruth parse_pair_truth(const std::string& read_name);
 
 /// The paper's five datasets (Table 3), scaled: same read lengths, read
 /// counts scaled by `scale` (1.0 -> 1/100 of the paper's counts, which keeps

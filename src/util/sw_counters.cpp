@@ -17,6 +17,11 @@ SwCounters& SwCounters::operator+=(const SwCounters& o) {
   bsw_cells_total += o.bsw_cells_total;
   bsw_cells_useful += o.bsw_cells_useful;
   bsw_aborted_pairs += o.bsw_aborted_pairs;
+  pe_rescue_windows += o.pe_rescue_windows;
+  pe_rescue_jobs += o.pe_rescue_jobs;
+  pe_rescue_hits += o.pe_rescue_hits;
+  pe_rescued_pairs += o.pe_rescued_pairs;
+  pe_proper_pairs += o.pe_proper_pairs;
   return *this;
 }
 
@@ -33,7 +38,12 @@ std::string SwCounters::summary() const {
      << " bsw_pairs=" << bsw_pairs
      << " bsw_cells_total=" << bsw_cells_total
      << " bsw_cells_useful=" << bsw_cells_useful
-     << " bsw_aborts=" << bsw_aborted_pairs;
+     << " bsw_aborts=" << bsw_aborted_pairs
+     << " pe_rescue_windows=" << pe_rescue_windows
+     << " pe_rescue_jobs=" << pe_rescue_jobs
+     << " pe_rescue_hits=" << pe_rescue_hits
+     << " pe_rescued_pairs=" << pe_rescued_pairs
+     << " pe_proper_pairs=" << pe_proper_pairs;
   return os.str();
 }
 

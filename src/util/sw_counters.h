@@ -33,6 +33,13 @@ struct SwCounters {
   std::uint64_t bsw_cells_useful = 0;   // cells inside a live pair's band
   std::uint64_t bsw_aborted_pairs = 0;  // z-drop / zero-row early exits
 
+  // Paired-end stage (mate rescue + pair scoring)
+  std::uint64_t pe_rescue_windows = 0;  // rescue windows scanned for anchors
+  std::uint64_t pe_rescue_jobs = 0;     // BSW jobs dispatched by rescue
+  std::uint64_t pe_rescue_hits = 0;     // rescue alignments added to a mate
+  std::uint64_t pe_rescued_pairs = 0;   // proper pairs whose chosen region came from rescue
+  std::uint64_t pe_proper_pairs = 0;    // pairs emitted with the proper-pair flag
+
   SwCounters& operator+=(const SwCounters& o);
   void reset() { *this = SwCounters{}; }
   std::string summary() const;

@@ -33,13 +33,14 @@ enum class Stage : int {
   kBswPre,
   kBsw,
   kSamForm,
+  kPair,  // paired-end stage: rescue harvest/rounds + pair scoring + pair SAM
   kMisc,
   kCount,
 };
 
 constexpr std::string_view stage_name(Stage s) {
   constexpr std::string_view names[] = {"SMEM",    "SAL", "CHAIN", "BSW-PRE",
-                                        "BSW",     "SAM", "MISC"};
+                                        "BSW",     "SAM", "PAIR",  "MISC"};
   return names[static_cast<int>(s)];
 }
 

@@ -90,6 +90,72 @@ TEST(Fastq, WriteReadRoundTrip) {
   EXPECT_EQ(back[1].qual, "#");
 }
 
+namespace {
+
+std::string write_temp_fastq(const std::string& name,
+                             const std::vector<seq::Read>& reads) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  write_fastq_file(path, reads);
+  return path;
+}
+
+seq::Read make_read(const std::string& name, const std::string& bases) {
+  return {name, bases, std::string(bases.size(), 'I')};
+}
+
+}  // namespace
+
+TEST(PairedFastq, PairsTwoFilesAndInterleaved) {
+  const std::vector<seq::Read> r1 = {make_read("a", "ACGT"), make_read("b", "GGTT")};
+  const std::vector<seq::Read> r2 = {make_read("a", "TTAA"), make_read("b", "CCAA")};
+  const auto p1 = write_temp_fastq("mem2_pe_r1.fq", r1);
+  const auto p2 = write_temp_fastq("mem2_pe_r2.fq", r2);
+
+  PairedFastqStream two(p1, p2);
+  std::vector<seq::Read> chunk;
+  ASSERT_EQ(two.next_chunk(chunk, 8), 2u);
+  ASSERT_EQ(chunk.size(), 4u);
+  EXPECT_EQ(chunk[0].bases, "ACGT");  // mates adjacent: R1, R2, R1, R2
+  EXPECT_EQ(chunk[1].bases, "TTAA");
+  EXPECT_EQ(chunk[2].bases, "GGTT");
+  EXPECT_EQ(chunk[3].bases, "CCAA");
+  EXPECT_EQ(two.pairs_parsed(), 2u);
+
+  // Interleaved single file yields the same stream.
+  const auto pil = write_temp_fastq(
+      "mem2_pe_il.fq", {r1[0], r2[0], r1[1], r2[1]});
+  PairedFastqStream il(pil);
+  std::vector<seq::Read> ichunk;
+  ASSERT_EQ(il.next_chunk(ichunk, 8), 2u);
+  for (std::size_t i = 0; i < chunk.size(); ++i)
+    EXPECT_EQ(ichunk[i].bases, chunk[i].bases);
+
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  std::remove(pil.c_str());
+}
+
+TEST(PairedFastq, RejectsMismatchedReadCounts) {
+  const auto p1 = write_temp_fastq(
+      "mem2_pe_long.fq", {make_read("a", "ACGT"), make_read("b", "GGTT")});
+  const auto p2 = write_temp_fastq("mem2_pe_short.fq", {make_read("a", "TTAA")});
+
+  PairedFastqStream stream(p1, p2);
+  seq::Read a, b;
+  ASSERT_TRUE(stream.next_pair(a, b));
+  EXPECT_THROW(stream.next_pair(a, b), io_error);
+
+  // Interleaved file ending mid-pair is equally fatal.
+  const auto pil = write_temp_fastq("mem2_pe_odd.fq", {make_read("a", "ACGT")});
+  PairedFastqStream il(pil);
+  EXPECT_THROW(il.next_pair(a, b), io_error);
+
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+  std::remove(pil.c_str());
+}
+
 TEST(Sam, RecordFormatting) {
   SamRecord r;
   r.qname = "read1";
