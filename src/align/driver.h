@@ -71,7 +71,13 @@ struct DriverOptions {
   /// pairs and runs BSW-powered mate rescue per batch.  Output stays
   /// deterministic across thread counts, chunkings and batch sizes.
   bool paired = false;
-  pair::PairOptions pe;  // paired-end subsystem knobs
+  /// Paired-end subsystem knobs (pair/insert_stats.h), including the
+  /// rescue-scan tuning surface: pe.rescue_seed_len (probe k),
+  /// pe.rescue_hash_bits (rolling-hash table size) and pe.rescue_skip
+  /// (determinism-preserving window skipping; disable for an A/B against
+  /// the scan-everything behavior — output with skipping off is
+  /// byte-identical to the pre-skip driver).
+  pair::PairOptions pe;
 
   int effective_bsw_threads() const {
     return bsw_threads > 0 ? bsw_threads : threads;

@@ -66,7 +66,10 @@ Status validate_driver_options(const DriverOptions& options) {
                "pe.rescue_seed_len must be >= 4",
                options.pe.max_rescue_anchors >= 1 &&
                    options.pe.max_rescue_anchors <= pair::kMaxRescueAnchors,
-               "pe.max_rescue_anchors must be in [1, 8]");
+               "pe.max_rescue_anchors must be in [1, 8]",
+               options.pe.rescue_hash_bits >= 1 &&
+                   options.pe.rescue_hash_bits <= pair::kMaxRescueHashBits,
+               "pe.rescue_hash_bits must be in [1, 10]");
 }
 
 }  // namespace mem2::align

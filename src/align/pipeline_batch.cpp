@@ -97,7 +97,20 @@ struct JobBlock {
 /// Per-block output of the parallel rescue harvest (paired mode).
 struct PairBlock {
   std::vector<pair::RescueAttempt> attempts;
-  std::uint64_t windows = 0;  // rescue windows scanned (incl. anchor-less)
+  std::uint64_t windows = 0;      // rescue windows anchor-scanned
+  std::uint64_t win_skipped = 0;  // skipped: (mate, orientation) already satisfied
+  std::uint64_t win_deduped = 0;  // content-identical to an earlier window
+};
+
+/// One window already seen for the (pair, mate) being harvested — the
+/// dedup key plus where its content lives (a stored attempt, or the
+/// anchor-less side list).
+struct SeenWindow {
+  std::uint64_t fp = 0;
+  std::uint32_t len = 0;
+  bool is_rev = false;
+  std::int32_t attempt = -1;  // index into PairBlock::attempts, or -1
+  std::int32_t zero = -1;     // index into the anchor-less content list
 };
 
 /// (attempt, anchor) a rescue-round job scatters back to.
@@ -484,7 +497,22 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   util::Timer pair_timer;
 
   // --- Rescue harvest: parallel blocks over contiguous pair ranges,
-  // spliced in pair order (same discipline as the extension rounds). ---
+  // spliced in pair order (same discipline as the extension rounds).
+  // Per (pair, mate), windows are visited in a fixed canonical order
+  // (anchor region rank, then orientation class) and run through three
+  // layers, all of whose state is local to the pair — so the harvest stays
+  // invariant across threads, chunkings and batch sizes:
+  //   1. skip (popt.rescue_skip): once a window's anchor carries an exact
+  //      match run >= min_seed_len, an accepted rescue for this (mate,
+  //      orientation) is guaranteed, and later windows of the same class
+  //      are skipped before the reference fetch (bwa mem_matesw's
+  //      sequential stop-when-satisfied, made order-canonical);
+  //   2. dedup: a window byte-identical to an earlier window of the same
+  //      mate (repeat copies; verified by fingerprint + full compare)
+  //      reuses the earlier anchor scan and BSW results instead of
+  //      rescanning and re-extending — output-identical, work-free;
+  //   3. scan: the rolling-hash RescueScanner, built once per mate
+  //      orientation and slid across each surviving window. ---
   if (ws.pair_blocks.size() != ws.blocks.size())
     ws.pair_blocks.resize(ws.blocks.size());
   const int n_blocks = static_cast<int>(ws.pair_blocks.size());
@@ -493,7 +521,10 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   for (int b = 0; b < n_blocks; ++b) {
     PairBlock& pb = ws.pair_blocks[static_cast<std::size_t>(b)];
     pb.attempts.clear();
-    pb.windows = 0;
+    pb.windows = pb.win_skipped = pb.win_deduped = 0;
+    // Per-mate scratch; capacity reused across the block's pairs.
+    std::vector<SeenWindow> seen;
+    std::vector<std::vector<seq::Code>> zero_wins;  // anchor-less contents
     const int beg = static_cast<int>(
         static_cast<std::int64_t>(n_pairs) * b / n_blocks);
     const int end = static_cast<int>(
@@ -504,6 +535,11 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
         ReadState& rm = states[static_cast<std::size_t>(2 * p + (e ^ 1))];
         if (ra.regs.empty()) continue;
         const int l_ms = static_cast<int>(rm.query.size());
+        pair::RescueScanner scanners[2];  // [is_rev], built on first window
+        bool scanner_built[2] = {false, false};
+        bool satisfied[4] = {false, false, false, false};
+        seen.clear();
+        zero_wins.clear();
         // Anchor regions: near-ties of the best (within pen_unpaired, as in
         // bwa mem_sam_pe's rescue list), capped at max_matesw.
         int tried = 0;
@@ -538,7 +574,10 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
             if (!pair::rescue_window(index.ref(), l_pac, a, pes.dir[d], d, l_ms,
                                      mopt.seeding.min_seed_len, &w))
               continue;
-            ++pb.windows;
+            if (popt.rescue_skip && satisfied[d]) {
+              ++pb.win_skipped;
+              continue;
+            }
             pair::RescueAttempt at;
             at.pair = static_cast<std::uint32_t>(p);
             at.mate = static_cast<std::uint8_t>(e ^ 1);
@@ -546,12 +585,66 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
             at.rid = a.rid;
             at.win_rb = w.rb;
             at.win = index.fetch(w.rb, w.re);
+            at.fp = pair::window_fingerprint(at.win);
+            // Dedup against this mate's earlier windows.
+            bool is_dup = false;
+            std::int32_t canon = -1;
+            for (const SeenWindow& sw : seen) {
+              if (sw.fp != at.fp || sw.is_rev != w.is_rev ||
+                  sw.len != static_cast<std::uint32_t>(at.win.size()))
+                continue;
+              const std::vector<seq::Code>& prev =
+                  sw.attempt >= 0
+                      ? pb.attempts[static_cast<std::size_t>(sw.attempt)].win
+                      : zero_wins[static_cast<std::size_t>(sw.zero)];
+              if (!std::equal(at.win.begin(), at.win.end(), prev.begin()))
+                continue;
+              is_dup = true;
+              canon = sw.attempt;
+              break;
+            }
+            if (is_dup) {
+              ++pb.win_deduped;
+              if (canon < 0) continue;  // repeated anchor-less window
+              const pair::RescueAttempt& src =
+                  pb.attempts[static_cast<std::size_t>(canon)];
+              at.n_anchors = src.n_anchors;
+              at.anchors = src.anchors;  // geometry now; results replayed later
+              at.dup_of = canon;         // block-local; rebased at splice
+              if (popt.rescue_skip)
+                for (int an = 0; an < at.n_anchors; ++an)
+                  if (at.anchors[static_cast<std::size_t>(an)].exact_run >=
+                      mopt.seeding.min_seed_len)
+                    satisfied[d] = true;
+              pb.attempts.push_back(std::move(at));
+              continue;
+            }
+            ++pb.windows;
             const std::span<const seq::Code> seq =
                 w.is_rev ? rm.query_rc : rm.query;
-            at.n_anchors = pair::scan_rescue_anchors(
-                seq, at.win, rescue_k, popt.max_rescue_anchors, at.anchors.data());
-            if (at.n_anchors == 0) continue;
+            pair::RescueScanner& scanner = scanners[w.is_rev ? 1 : 0];
+            if (!scanner_built[w.is_rev ? 1 : 0]) {
+              scanner.build(seq, rescue_k, popt.rescue_hash_bits);
+              scanner_built[w.is_rev ? 1 : 0] = true;
+            }
+            at.n_anchors =
+                scanner.scan(at.win, popt.max_rescue_anchors, at.anchors.data());
+            if (at.n_anchors == 0) {
+              seen.push_back({at.fp, static_cast<std::uint32_t>(at.win.size()),
+                              w.is_rev, -1,
+                              static_cast<std::int32_t>(zero_wins.size())});
+              zero_wins.push_back(std::move(at.win));
+              continue;
+            }
+            if (popt.rescue_skip)
+              for (int an = 0; an < at.n_anchors; ++an)
+                if (at.anchors[static_cast<std::size_t>(an)].exact_run >=
+                    mopt.seeding.min_seed_len)
+                  satisfied[d] = true;
             at.win_rev.assign(at.win.rbegin(), at.win.rend());
+            seen.push_back({at.fp, static_cast<std::uint32_t>(at.win.size()),
+                            w.is_rev,
+                            static_cast<std::int32_t>(pb.attempts.size()), -1});
             pb.attempts.push_back(std::move(at));
           }
         }
@@ -559,12 +652,19 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
     }
   }
 
-  // Splice attempts in block (= pair) order; build per-pair offsets.
+  // Splice attempts in block (= pair) order, rebasing intra-block dup_of
+  // references onto the spliced list; build per-pair offsets.
   std::vector<pair::RescueAttempt>& attempts = ws.attempts;
   attempts.clear();
   for (PairBlock& pb : ws.pair_blocks) {
-    for (auto& at : pb.attempts) attempts.push_back(std::move(at));
+    const std::int32_t base = static_cast<std::int32_t>(attempts.size());
+    for (auto& at : pb.attempts) {
+      if (at.dup_of >= 0) at.dup_of += base;
+      attempts.push_back(std::move(at));
+    }
     ws.thread_counters[0].pe_rescue_windows += pb.windows;
+    ws.thread_counters[0].pe_rescue_win_skipped += pb.win_skipped;
+    ws.thread_counters[0].pe_rescue_win_deduped += pb.win_deduped;
     pb.attempts.clear();
   }
   ws.pair_offsets.assign(static_cast<std::size_t>(n_pairs) + 1, 0);
@@ -595,6 +695,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   rrefs.clear();
   for (std::uint32_t ai = 0; ai < attempts.size(); ++ai) {
     pair::RescueAttempt& at = attempts[ai];
+    if (at.dup_of >= 0) continue;  // replayed from the canonical attempt
     const auto seq_rev = oriented(at, /*reversed=*/true);
     const int l_ms = static_cast<int>(seq_rev.size());
     for (int an = 0; an < at.n_anchors; ++an) {
@@ -632,6 +733,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   rrefs.clear();
   for (std::uint32_t ai = 0; ai < attempts.size(); ++ai) {
     pair::RescueAttempt& at = attempts[ai];
+    if (at.dup_of >= 0) continue;  // replayed from the canonical attempt
     const auto seq = oriented(at, /*reversed=*/false);
     const int l_ms = static_cast<int>(seq.size());
     const int l_win = static_cast<int>(at.win.size());
@@ -665,6 +767,13 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
     anchor.right = results[j];
     anchor.have_right = true;
   }
+  // Replay extension results into deduped attempts: identical window
+  // content + identical oriented mate => identical jobs => identical
+  // results, so copying is exact, and finalize still maps each duplicate
+  // through its own (win_rb, is_rev, rid).
+  for (pair::RescueAttempt& at : attempts)
+    if (at.dup_of >= 0)
+      at.anchors = attempts[static_cast<std::size_t>(at.dup_of)].anchors;
   ws.thread_counters[0].pe_rescue_jobs += rescue_jobs;
   // The executor reduced its worker counters onto this thread's TLS sink.
   ws.thread_counters[0] += util::tls_counters();

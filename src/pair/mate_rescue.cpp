@@ -1,7 +1,6 @@
 #include "pair/mate_rescue.h"
 
 #include <algorithm>
-#include <cstring>
 
 #include "seq/pack.h"
 
@@ -49,47 +48,6 @@ bool rescue_window(const seq::Reference& ref, idx_t l_pac, const AlnReg& a,
   out->re = re;
   out->is_rev = is_rev;
   return true;
-}
-
-int scan_rescue_anchors(std::span<const seq::Code> seq,
-                        std::span<const seq::Code> win, int k, int max_anchors,
-                        RescueAnchor* out) {
-  const int l_seq = static_cast<int>(seq.size());
-  const int l_win = static_cast<int>(win.size());
-  if (k <= 0 || l_seq < k || l_win < k) return 0;
-  max_anchors = std::min(max_anchors, kMaxRescueAnchors);
-
-  // Probe k-mers at non-overlapping query offsets; skip probes containing
-  // an ambiguous base (N "matches" nothing meaningful).
-  int probes[64];
-  int n_probes = 0;
-  for (int q0 = 0; q0 + k <= l_seq && n_probes < 64; q0 += k) {
-    bool ambig = false;
-    for (int j = 0; j < k; ++j) ambig |= seq[static_cast<std::size_t>(q0 + j)] > 3;
-    if (!ambig) probes[n_probes++] = q0;
-  }
-
-  int n = 0;
-  int diagonals[kMaxRescueAnchors];
-  for (int t = 0; t + k <= l_win && n < max_anchors; ++t) {
-    for (int p = 0; p < n_probes && n < max_anchors; ++p) {
-      const int q0 = probes[p];
-      const int diag = t - q0;
-      bool seen = false;
-      for (int d = 0; d < n; ++d) seen |= diagonals[d] == diag;
-      if (seen) continue;
-      if (std::memcmp(seq.data() + q0, win.data() + t,
-                      static_cast<std::size_t>(k)) != 0)
-        continue;
-      out[n].qbeg = q0;
-      out[n].tbeg = t;
-      out[n].len = k;
-      out[n].have_left = out[n].have_right = false;
-      diagonals[n] = diag;
-      ++n;
-    }
-  }
-  return n;
 }
 
 namespace {

@@ -14,7 +14,9 @@
 //                default 11 < min_seed_len, so rescue can seed reads whose
 //                SMEM seeding failed) of the expected-orientation mate
 //                sequence — at most one anchor per diagonal, first-seen
-//                order, capped at max_rescue_anchors;
+//                order, capped at max_rescue_anchors.  The scan is the
+//                rolling-hash RescueScanner (rescue_scan.h), whose anchor
+//                set is identical to the reference nested memcmp scan;
 //   3. extend:   every anchor becomes a left-extension job, then a
 //                right-extension job with the left score as h0 — both
 //                dispatched through the shared BswExecutor in pooled rounds
@@ -36,12 +38,11 @@
 #include "align/region.h"
 #include "bsw/ksw.h"
 #include "pair/insert_stats.h"
+#include "pair/rescue_scan.h"
 #include "seq/dna.h"
 #include "seq/pack.h"
 
 namespace mem2::pair {
-
-inline constexpr int kMaxRescueAnchors = 8;  // hard bound for the fixed array
 
 /// Doubled-coordinate rescue window for anchor region `a` and orientation
 /// class `dir`; false when the window is empty, crosses onto the wrong
@@ -54,33 +55,28 @@ bool rescue_window(const seq::Reference& ref, idx_t l_pac, const align::AlnReg& 
                    const DirStats& pes, int dir, int l_ms, int min_len,
                    RescueWindow* out);
 
-/// One exact-match anchor of the oriented mate inside the window, plus the
-/// two extension results filled in by the pooled rounds.
-struct RescueAnchor {
-  int qbeg = 0, tbeg = 0, len = 0;
-  bsw::KswResult left, right;
-  bool have_left = false, have_right = false;
-};
-
-/// Scan `win` for exact `k`-mers of `seq` (probes at query offsets
-/// 0, k, 2k, ...), keeping the first anchor per diagonal in window order,
-/// up to `max_anchors`.  Returns the number found.
-int scan_rescue_anchors(std::span<const seq::Code> seq,
-                        std::span<const seq::Code> win, int k, int max_anchors,
-                        RescueAnchor* out);
-
 /// One rescue attempt: a window of one orientation class for one mate of a
 /// pair, with its fetched reference bases and surviving anchors.  Windows
 /// are fetched fresh per batch (like the chain windows in ChainRef), so the
 /// PAIR stage allocates per batch — a documented exception to the batch
 /// driver's steady-state zero-allocation discipline.
+///
+/// Repeat-heavy references produce near-tie anchor regions whose rescue
+/// windows are byte-identical; the driver dedups them by content
+/// fingerprint before BSW job pooling.  A duplicate attempt carries
+/// dup_of >= 0 (the index of the content-identical canonical attempt in the
+/// spliced batch list): its anchors are copies, it contributes no BSW jobs,
+/// and the canonical attempt's extension results are replayed into it
+/// before finalize — so dedup never changes output, only work.
 struct RescueAttempt {
   std::uint32_t pair = 0;  // pair index within the batch
   std::uint8_t mate = 0;   // which mate is being rescued (0/1)
   bool is_rev = false;
   int rid = -1;
   idx_t win_rb = 0;
-  std::vector<seq::Code> win, win_rev;
+  std::int32_t dup_of = -1;   // spliced index of the canonical attempt
+  std::uint64_t fp = 0;       // window-content fingerprint (dedup key)
+  std::vector<seq::Code> win, win_rev;  // win_rev empty for duplicates
   std::array<RescueAnchor, kMaxRescueAnchors> anchors;
   int n_anchors = 0;
 };

@@ -1,0 +1,164 @@
+#include "pair/rescue_scan.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mem2::pair {
+
+namespace {
+
+/// Polynomial rolling-hash base (the FNV64 prime — odd, so multiplication
+/// mod 2^64 is a bijection and windows differing in one base differ in
+/// hash with overwhelming probability; collisions only cost a memcmp).
+constexpr std::uint64_t kHashBase = 0x00000100000001b3ULL;
+
+std::uint64_t pow_base(int e) {
+  std::uint64_t r = 1;
+  for (int i = 0; i < e; ++i) r *= kHashBase;
+  return r;
+}
+
+std::uint64_t hash_kmer(const seq::Code* p, int k) {
+  std::uint64_t h = 0;
+  for (int j = 0; j < k; ++j) h = h * kHashBase + p[j];
+  return h;
+}
+
+/// Fibonacci-mix the polynomial hash into a table slot: the low bits of a
+/// plain polynomial hash are dominated by the last few bases, so spread the
+/// whole word before taking the top `bits`.
+std::uint32_t slot_of(std::uint64_t h, int bits) {
+  return static_cast<std::uint32_t>((h * 0x9e3779b97f4a7c15ULL) >> (64 - bits));
+}
+
+/// Maximal exact match run through a verified anchor at (q0, t): k plus the
+/// equal unambiguous bases immediately left and right.  Ambiguous bases
+/// terminate the run (N = N is not a scoring match).
+int exact_run(std::span<const seq::Code> seq, std::span<const seq::Code> win,
+              int q0, int t, int k) {
+  const int l_seq = static_cast<int>(seq.size());
+  const int l_win = static_cast<int>(win.size());
+  int left = 0;
+  while (q0 - 1 - left >= 0 && t - 1 - left >= 0 &&
+         seq[static_cast<std::size_t>(q0 - 1 - left)] ==
+             win[static_cast<std::size_t>(t - 1 - left)] &&
+         seq[static_cast<std::size_t>(q0 - 1 - left)] < 4)
+    ++left;
+  int right = 0;
+  while (q0 + k + right < l_seq && t + k + right < l_win &&
+         seq[static_cast<std::size_t>(q0 + k + right)] ==
+             win[static_cast<std::size_t>(t + k + right)] &&
+         seq[static_cast<std::size_t>(q0 + k + right)] < 4)
+    ++right;
+  return k + left + right;
+}
+
+}  // namespace
+
+int scan_rescue_anchors(std::span<const seq::Code> seq,
+                        std::span<const seq::Code> win, int k, int max_anchors,
+                        RescueAnchor* out) {
+  const int l_seq = static_cast<int>(seq.size());
+  const int l_win = static_cast<int>(win.size());
+  if (k <= 0 || l_seq < k || l_win < k) return 0;
+  max_anchors = std::min(max_anchors, kMaxRescueAnchors);
+
+  // Probe k-mers at non-overlapping query offsets; skip probes containing
+  // an ambiguous base (N "matches" nothing meaningful).
+  int probes[kMaxRescueProbes];
+  int n_probes = 0;
+  for (int q0 = 0; q0 + k <= l_seq && n_probes < kMaxRescueProbes; q0 += k) {
+    bool ambig = false;
+    for (int j = 0; j < k; ++j) ambig |= seq[static_cast<std::size_t>(q0 + j)] > 3;
+    if (!ambig) probes[n_probes++] = q0;
+  }
+
+  int n = 0;
+  int diagonals[kMaxRescueAnchors];
+  for (int t = 0; t + k <= l_win && n < max_anchors; ++t) {
+    for (int p = 0; p < n_probes && n < max_anchors; ++p) {
+      const int q0 = probes[p];
+      const int diag = t - q0;
+      bool seen = false;
+      for (int d = 0; d < n; ++d) seen |= diagonals[d] == diag;
+      if (seen) continue;
+      if (std::memcmp(seq.data() + q0, win.data() + t,
+                      static_cast<std::size_t>(k)) != 0)
+        continue;
+      out[n].qbeg = q0;
+      out[n].tbeg = t;
+      out[n].len = k;
+      out[n].exact_run = exact_run(seq, win, q0, t, k);
+      out[n].have_left = out[n].have_right = false;
+      diagonals[n] = diag;
+      ++n;
+    }
+  }
+  return n;
+}
+
+void RescueScanner::build(std::span<const seq::Code> seq, int k, int hash_bits) {
+  seq_ = seq;
+  k_ = k;
+  bits_ = std::clamp(hash_bits, 1, kMaxRescueHashBits);
+  n_probes_ = 0;
+  std::fill(slot_head_, slot_head_ + (std::size_t{1} << bits_),
+            static_cast<std::int16_t>(-1));
+  const int l_seq = static_cast<int>(seq.size());
+  if (k <= 0 || l_seq < k) return;
+  bk1_ = pow_base(k - 1);
+  for (int q0 = 0; q0 + k <= l_seq && n_probes_ < kMaxRescueProbes; q0 += k) {
+    bool ambig = false;
+    for (int j = 0; j < k; ++j) ambig |= seq[static_cast<std::size_t>(q0 + j)] > 3;
+    if (ambig) continue;
+    probe_q0_[n_probes_] = q0;
+    probe_hash_[n_probes_] = hash_kmer(seq.data() + q0, k);
+    ++n_probes_;
+  }
+  // Prepend in descending probe order so every chain walks in ascending
+  // query-offset order — the reference scan's probe order, which the
+  // first-anchor-per-diagonal and max_anchors saturation rules depend on.
+  for (int p = n_probes_ - 1; p >= 0; --p) {
+    const std::uint32_t s = slot_of(probe_hash_[p], bits_);
+    probe_next_[p] = slot_head_[s];
+    slot_head_[s] = static_cast<std::int16_t>(p);
+  }
+}
+
+int RescueScanner::scan(std::span<const seq::Code> win, int max_anchors,
+                        RescueAnchor* out) const {
+  const int l_win = static_cast<int>(win.size());
+  if (k_ <= 0 || n_probes_ == 0 || l_win < k_) return 0;
+  max_anchors = std::min(max_anchors, kMaxRescueAnchors);
+
+  int n = 0;
+  int diagonals[kMaxRescueAnchors];
+  std::uint64_t h = hash_kmer(win.data(), k_);
+  for (int t = 0;; ++t) {
+    for (int p = slot_head_[slot_of(h, bits_)]; p >= 0 && n < max_anchors;
+         p = probe_next_[p]) {
+      if (probe_hash_[p] != h) continue;  // colliding slot, different k-mer
+      const int q0 = probe_q0_[p];
+      const int diag = t - q0;
+      bool seen = false;
+      for (int d = 0; d < n; ++d) seen |= diagonals[d] == diag;
+      if (seen) continue;
+      if (std::memcmp(seq_.data() + q0, win.data() + t,
+                      static_cast<std::size_t>(k_)) != 0)
+        continue;  // true hash collision
+      out[n].qbeg = q0;
+      out[n].tbeg = t;
+      out[n].len = k_;
+      out[n].exact_run = exact_run(seq_, win, q0, t, k_);
+      out[n].have_left = out[n].have_right = false;
+      diagonals[n] = diag;
+      ++n;
+    }
+    if (n >= max_anchors || t + k_ >= l_win) break;
+    h = (h - win[static_cast<std::size_t>(t)] * bk1_) * kHashBase +
+        win[static_cast<std::size_t>(t + k_)];
+  }
+  return n;
+}
+
+}  // namespace mem2::pair

@@ -1,0 +1,113 @@
+// Rescue-window anchor scanning kernels.
+//
+// Mate rescue (mate_rescue.h) needs every short exact match ("anchor")
+// between the oriented mate sequence and a reference window implied by the
+// insert prior.  The reference formulation is a nested scan — for each
+// window offset, memcmp every k-mer probe of the mate — which is
+// O(window × probes) memcmps and dominated the PAIR stage (~42% of paired
+// single-thread time on the bench genome).
+//
+// RescueScanner turns that into O(window + hits): the mate's probes are
+// hashed ONCE into a small open-chained table (built per mate orientation,
+// reused across every window of that mate), one polynomial rolling hash
+// slides across the window, and only hash hits pay a memcmp verification.
+// The emitted anchor set is IDENTICAL to the reference scan — same probes,
+// same first-anchor-per-diagonal rule, same window-order tie-breaks, same
+// max_anchors saturation point — which tests/test_rescue_scan.cpp enforces
+// on randomized inputs.  scan_rescue_anchors() below is that reference
+// implementation, kept as the property-test oracle.
+//
+// Both kernels also report each anchor's maximal exact match run
+// (exact_run): the contiguous equal-base stretch through the anchor k-mer.
+// A run of min_seed_len or more guarantees the anchor's banded-SW score
+// clears finalize_rescue's acceptance threshold (the exact-match path alone
+// scores run × a), which is what the driver's determinism-preserving rescue
+// skipping keys on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bsw/ksw.h"
+#include "seq/dna.h"
+
+namespace mem2::pair {
+
+/// Hard bound on anchors reported per window (sizes the fixed arrays in
+/// RescueAttempt); PairOptions::max_rescue_anchors is validated against it.
+inline constexpr int kMaxRescueAnchors = 8;
+
+/// Hard bound on k-mer probes taken from the mate sequence.  Probes sit at
+/// non-overlapping query offsets 0, k, 2k, ..., so 101 bp reads with the
+/// default k = 11 use 9; the cap only binds for long reads with tiny k and
+/// is bounds-tested in tests/test_rescue_scan.cpp.
+inline constexpr int kMaxRescueProbes = 64;
+
+/// Upper bound of PairOptions::rescue_hash_bits (table slots = 1 << bits).
+inline constexpr int kMaxRescueHashBits = 10;
+
+/// One exact-match anchor of the oriented mate inside a window, plus the
+/// two extension results filled in by the pooled BSW rounds.
+struct RescueAnchor {
+  int qbeg = 0, tbeg = 0, len = 0;
+  /// Maximal exact match run through the anchor: len plus the equal,
+  /// unambiguous bases immediately left and right of the k-mer.
+  int exact_run = 0;
+  bsw::KswResult left, right;
+  bool have_left = false, have_right = false;
+};
+
+/// Content fingerprint of a fetched rescue window, used by the driver to
+/// dedup byte-identical repeat windows before BSW job pooling.  Candidates
+/// matching on (fingerprint, length, orientation) are verified by a full
+/// compare before deduping, so collisions cost a memcmp, never correctness.
+inline std::uint64_t window_fingerprint(std::span<const seq::Code> win) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^
+                    (win.size() * 0x9e3779b97f4a7c15ULL);
+  for (const seq::Code c : win) h = (h ^ c) * 0x00000100000001b3ULL;
+  return h;
+}
+
+/// Reference scan (the property-test oracle): for each window offset in
+/// ascending order, try every probe in ascending query-offset order, keep
+/// the first anchor per diagonal, stop at max_anchors.  O(window × probes).
+int scan_rescue_anchors(std::span<const seq::Code> seq,
+                        std::span<const seq::Code> win, int k, int max_anchors,
+                        RescueAnchor* out);
+
+/// The rolling-hash anchor scanner.  build() once per (mate, orientation),
+/// then scan() every window of that mate; both are allocation-free (all
+/// state lives in fixed member arrays).  scan() emits exactly the anchor
+/// set of scan_rescue_anchors() on the same inputs.
+class RescueScanner {
+ public:
+  /// Index the k-mer probes of `seq` (query offsets 0, k, 2k, ..., probes
+  /// containing an ambiguous base skipped, capped at kMaxRescueProbes) into
+  /// a 1 << hash_bits slot table.  `seq` is borrowed and must outlive
+  /// scan() calls.  hash_bits is clamped to [1, kMaxRescueHashBits]; table
+  /// size only affects collision chains, never the result.
+  void build(std::span<const seq::Code> seq, int k, int hash_bits);
+
+  /// Scan one window: one rolling hash per offset, chain walk + memcmp on
+  /// hash hits, first anchor per diagonal, up to max_anchors (clamped to
+  /// kMaxRescueAnchors).  Returns the number of anchors written to `out`.
+  int scan(std::span<const seq::Code> win, int max_anchors,
+           RescueAnchor* out) const;
+
+  int probe_count() const { return n_probes_; }
+
+ private:
+  std::span<const seq::Code> seq_;
+  int k_ = 0;
+  int n_probes_ = 0;
+  int bits_ = 1;
+  std::uint64_t bk1_ = 1;  // base^(k-1), the rolling removal multiplier
+  // 32-bit offsets: rescue_seed_len has no validated upper bound, so probe
+  // offsets (up to kMaxRescueProbes * k) must not narrow-wrap.
+  std::int32_t probe_q0_[kMaxRescueProbes];
+  std::uint64_t probe_hash_[kMaxRescueProbes];
+  std::int16_t probe_next_[kMaxRescueProbes];   // hash-slot chains, ascending
+  std::int16_t slot_head_[1 << kMaxRescueHashBits];
+};
+
+}  // namespace mem2::pair

@@ -18,6 +18,8 @@ SwCounters& SwCounters::operator+=(const SwCounters& o) {
   bsw_cells_useful += o.bsw_cells_useful;
   bsw_aborted_pairs += o.bsw_aborted_pairs;
   pe_rescue_windows += o.pe_rescue_windows;
+  pe_rescue_win_skipped += o.pe_rescue_win_skipped;
+  pe_rescue_win_deduped += o.pe_rescue_win_deduped;
   pe_rescue_jobs += o.pe_rescue_jobs;
   pe_rescue_hits += o.pe_rescue_hits;
   pe_rescued_pairs += o.pe_rescued_pairs;
@@ -40,6 +42,8 @@ std::string SwCounters::summary() const {
      << " bsw_cells_useful=" << bsw_cells_useful
      << " bsw_aborts=" << bsw_aborted_pairs
      << " pe_rescue_windows=" << pe_rescue_windows
+     << " pe_rescue_win_skipped=" << pe_rescue_win_skipped
+     << " pe_rescue_win_deduped=" << pe_rescue_win_deduped
      << " pe_rescue_jobs=" << pe_rescue_jobs
      << " pe_rescue_hits=" << pe_rescue_hits
      << " pe_rescued_pairs=" << pe_rescued_pairs

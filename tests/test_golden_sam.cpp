@@ -1,0 +1,216 @@
+// Golden-SAM regression corpus: small checked-in FASTA/FASTQ fixtures with
+// expected single-end and paired-end SAM under tests/golden/, diffed line
+// by line.  Perf-oriented PRs keep touching the hottest stages (BSW pooling,
+// rescue scanning); this corpus catches any silent output change the
+// invariance tests can't see (they compare a run against itself under
+// different threadings — a wrong-everywhere change passes them).
+//
+// Regenerate after an INTENDED output change with:
+//   ./build/test_golden_sam --bless
+// which rewrites the fixtures in the source tree (MEM2_GOLDEN_DIR) and then
+// verifies against the fresh files.  Review the diff of tests/golden/ like
+// any other code change.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/aligner.h"
+#include "io/fasta.h"
+#include "io/fastq.h"
+#include "seq/genome_sim.h"
+#include "seq/read_sim.h"
+
+namespace mem2 {
+namespace golden {
+bool g_bless = false;
+}  // namespace golden
+
+namespace {
+
+std::string dir() { return MEM2_GOLDEN_DIR; }
+std::string path(const char* name) { return dir() + "/" + name; }
+
+/// Deterministic fixture corpus: a repeat-bearing two-contig genome, one
+/// single-end library, one paired library with enough damaged mates to
+/// exercise rescue.  Small enough to version (tens of kilobases).
+seq::GenomeConfig genome_config() {
+  seq::GenomeConfig g;
+  g.seed = 20260601;
+  g.contig_lengths = {30000, 15000};
+  g.repeat_fraction = 0.35;
+  return g;
+}
+
+seq::ReadSimConfig se_config() {
+  seq::ReadSimConfig c;
+  c.seed = 31337;
+  c.num_reads = 150;
+  c.read_length = 101;
+  c.name_prefix = "gse";
+  return c;
+}
+
+seq::PairSimConfig pe_config() {
+  seq::PairSimConfig c;
+  c.seed = 424242;
+  c.num_pairs = 100;
+  c.read_length = 101;
+  c.insert_mean = 330;
+  c.insert_std = 35;
+  c.damage_fraction = 0.3;  // keep the rescue path inside the corpus
+  c.name_prefix = "gpe";
+  return c;
+}
+
+align::DriverOptions se_options() {
+  align::DriverOptions opt;
+  opt.mode = align::Mode::kBatch;
+  return opt;
+}
+
+align::DriverOptions pe_options() {
+  align::DriverOptions opt = se_options();
+  opt.paired = true;  // stat_pairs (512) > 100 pairs: calibrates at finish()
+  return opt;
+}
+
+struct AlignOut {
+  std::vector<std::string> sam;
+  util::SwCounters counters;
+};
+
+AlignOut run(const index::Mem2Index& index, const std::vector<seq::Read>& reads,
+             const align::DriverOptions& opt) {
+  align::Aligner aligner(index, opt);
+  EXPECT_TRUE(aligner.ok()) << aligner.status().message();
+  align::CollectSamSink sink;
+  align::DriverStats stats;
+  EXPECT_TRUE(aligner.align(reads, sink, &stats).ok());
+  AlignOut out;
+  out.counters = stats.counters;
+  out.sam.reserve(sink.records().size());
+  for (const auto& rec : sink.records()) out.sam.push_back(rec.to_line());
+  return out;
+}
+
+void write_lines(const std::string& p, const std::vector<std::string>& lines) {
+  std::ofstream f(p);
+  ASSERT_TRUE(f.is_open()) << p;
+  for (const auto& l : lines) f << l << '\n';
+}
+
+std::vector<std::string> read_lines(const std::string& p) {
+  std::ifstream f(p);
+  EXPECT_TRUE(f.is_open()) << "missing golden fixture " << p
+                           << " — regenerate with: test_golden_sam --bless";
+  std::vector<std::string> lines;
+  for (std::string l; std::getline(f, l);) lines.push_back(l);
+  return lines;
+}
+
+/// Regenerate every fixture, once per --bless process.  Reads are written
+/// to FASTQ and read back before aligning, so round-trip fidelity of the
+/// I/O layer is part of what the corpus pins down.
+void bless_fixtures() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::filesystem::create_directories(dir());
+    const auto ref = seq::simulate_genome(genome_config());
+    io::save_reference(path("genome.fa"), ref);
+    const auto ref_disk = io::load_reference(path("genome.fa"));
+    io::write_fastq_file(path("se_reads.fq"),
+                         seq::simulate_reads(ref_disk, se_config()));
+    io::write_fastq_file(path("pe_reads.fq"),
+                         seq::simulate_pairs(ref_disk, pe_config()));
+    const auto index = index::Mem2Index::build(ref_disk);
+    write_lines(path("expected_se.sam"),
+                run(index, io::read_fastq_file(path("se_reads.fq")),
+                    se_options())
+                    .sam);
+    write_lines(path("expected_pe.sam"),
+                run(index, io::read_fastq_file(path("pe_reads.fq")),
+                    pe_options())
+                    .sam);
+    std::fprintf(stderr, "[bless] regenerated golden corpus in %s\n",
+                 dir().c_str());
+  });
+}
+
+void expect_lines_equal(const std::vector<std::string>& got,
+                        const std::vector<std::string>& want,
+                        const char* what) {
+  EXPECT_EQ(got.size(), want.size()) << what << ": record count changed";
+  int shown = 0;
+  for (std::size_t i = 0; i < std::min(got.size(), want.size()); ++i) {
+    if (got[i] == want[i]) continue;
+    ADD_FAILURE() << what << ": first difference at record " << i
+                  << "\n  expected: " << want[i] << "\n  got:      " << got[i];
+    if (++shown >= 3) break;
+  }
+  if (shown > 0)
+    ADD_FAILURE() << what
+                  << " diverged from tests/golden/ — if the change is "
+                     "intended, regenerate with: test_golden_sam --bless";
+}
+
+index::Mem2Index golden_index() {
+  return index::Mem2Index::build(io::load_reference(path("genome.fa")));
+}
+
+TEST(GoldenSam, SingleEndMatchesCorpus) {
+  if (golden::g_bless) bless_fixtures();
+  const auto index = golden_index();
+  const auto out = run(index, io::read_fastq_file(path("se_reads.fq")),
+                       se_options());
+  ASSERT_FALSE(out.sam.empty());
+  expect_lines_equal(out.sam, read_lines(path("expected_se.sam")),
+                     "single-end SAM");
+}
+
+TEST(GoldenSam, PairedEndMatchesCorpus) {
+  if (golden::g_bless) bless_fixtures();
+  const auto index = golden_index();
+  const auto out = run(index, io::read_fastq_file(path("pe_reads.fq")),
+                       pe_options());
+  ASSERT_FALSE(out.sam.empty());
+  // The corpus must keep every paired stage busy, or a rescue regression
+  // could hide behind a workload that never rescues.
+  EXPECT_GT(out.counters.pe_proper_pairs, 0u);
+  EXPECT_GT(out.counters.pe_rescue_windows, 0u);
+  EXPECT_GT(out.counters.pe_rescue_hits, 0u);
+  expect_lines_equal(out.sam, read_lines(path("expected_pe.sam")),
+                     "paired-end SAM");
+}
+
+TEST(GoldenSam, BaselineDriverMatchesCorpusToo) {
+  // The baseline driver shares the golden contract for single-end output
+  // (the paper's like-for-like replacement property, pinned to bytes).
+  if (golden::g_bless) bless_fixtures();
+  const auto index = golden_index();
+  align::DriverOptions opt = se_options();
+  opt.mode = align::Mode::kBaseline;
+  const auto out = run(index, io::read_fastq_file(path("se_reads.fq")), opt);
+  expect_lines_equal(out.sam, read_lines(path("expected_se.sam")),
+                     "baseline single-end SAM");
+}
+
+}  // namespace
+}  // namespace mem2
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--bless") {
+      mem2::golden::g_bless = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -55,6 +55,80 @@ TEST(InsertStats, IgnoresOutOfRangeSamples) {
   EXPECT_EQ(stats.dir[1].count, 50u);
 }
 
+TEST(InsertStats, TinyCalibrationSets) {
+  // Estimation must behave when the stream holds far fewer pairs than
+  // stat_pairs: exactly min_dir_count samples calibrate, one fewer fails.
+  pair::PairOptions popt;
+  std::vector<pair::InsertSample> ten;
+  for (int i = 0; i < popt.min_dir_count; ++i)
+    ten.push_back({1, 300 + 7 * i});  // 300, 307, ..., 363
+  const auto ok = pair::estimate_insert_stats(ten, popt);
+  ASSERT_FALSE(ok.dir[1].failed);
+  EXPECT_EQ(ok.dir[1].count, static_cast<std::uint64_t>(popt.min_dir_count));
+  // Percentile bounds at tiny N: the accepted range must bracket every
+  // sample (nothing is an outlier in a 10-point saw-tooth) and stay >= 1.
+  EXPECT_GE(ok.dir[1].low, 1);
+  EXPECT_LE(ok.dir[1].low, 300);
+  EXPECT_GE(ok.dir[1].high, 363);
+  EXPECT_GT(ok.dir[1].mean, 300.0);
+  EXPECT_LT(ok.dir[1].mean, 363.0);
+
+  ten.pop_back();
+  EXPECT_TRUE(pair::estimate_insert_stats(ten, popt).dir[1].failed);
+  // And the empty set fails everywhere without dividing by zero.
+  const auto none = pair::estimate_insert_stats({}, popt);
+  EXPECT_EQ(none.pairs_sampled, 0u);
+  for (const auto& d : none.dir) EXPECT_TRUE(d.failed);
+}
+
+TEST(InsertStats, AllOneOrientation) {
+  // A library that is 100% RF: that class calibrates, every other fails,
+  // and the ratio test cannot divide against a zero-count dominant class.
+  std::vector<pair::InsertSample> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back({2, 500 + i % 50});
+  const auto stats = pair::estimate_insert_stats(samples, {});
+  ASSERT_FALSE(stats.dir[2].failed);
+  EXPECT_EQ(stats.dir[2].count, 100u);
+  for (int d : {0, 1, 3}) {
+    EXPECT_TRUE(stats.dir[d].failed);
+    EXPECT_EQ(stats.dir[d].count, 0u);
+  }
+  EXPECT_FALSE(stats.any() && stats.dir[2].failed);
+  EXPECT_TRUE(stats.any());
+}
+
+TEST(InsertStats, ZeroVarianceInserts) {
+  // An exact-insert library (every fragment 250 bp): mean lands on the
+  // sample, std is floored to a positive epsilon instead of zero (pair
+  // scoring divides by it), and the accepted range collapses to the point.
+  std::vector<pair::InsertSample> samples(64, {1, 250});
+  const auto stats = pair::estimate_insert_stats(samples, {});
+  ASSERT_FALSE(stats.dir[1].failed);
+  EXPECT_DOUBLE_EQ(stats.dir[1].mean, 250.0);
+  EXPECT_GT(stats.dir[1].std, 0.0);
+  EXPECT_LT(stats.dir[1].std, 1e-6);
+  EXPECT_EQ(stats.dir[1].low, 250);
+  EXPECT_EQ(stats.dir[1].high, 250);
+}
+
+TEST(InsertStats, PercentileRoundingNeverReadsPastTheEnd) {
+  // bwa's percentile rounding (f * n + .499) can land one past the end for
+  // small classes; the clamp must keep bounds finite and ordered for the
+  // smallest N that can calibrate.
+  pair::PairOptions popt;
+  popt.min_dir_count = 1;
+  for (int n : {1, 2, 3, 4}) {
+    std::vector<pair::InsertSample> samples;
+    for (int i = 0; i < n; ++i) samples.push_back({0, 100 * (i + 1)});
+    const auto stats = pair::estimate_insert_stats(samples, popt);
+    ASSERT_FALSE(stats.dir[0].failed) << "n=" << n;
+    EXPECT_GE(stats.dir[0].low, 1) << "n=" << n;
+    EXPECT_LE(stats.dir[0].low, stats.dir[0].high) << "n=" << n;
+    EXPECT_GE(stats.dir[0].mean, 100.0) << "n=" << n;
+    EXPECT_LE(stats.dir[0].mean, 100.0 * n) << "n=" << n;
+  }
+}
+
 TEST(InsertStats, InferDirClassesAreConsistent) {
   const idx_t l_pac = 10000;
   idx_t dist = 0;
@@ -108,6 +182,17 @@ PairedRun align_paired(const PairedFixture& fx, align::DriverOptions opt) {
   EXPECT_TRUE(stream.submit(std::span<const seq::Read>(fx.reads)).ok());
   EXPECT_TRUE(stream.finish().ok());
   return {sink.take_records(), stream.pair_stats(), stream.stats()};
+}
+
+TEST(InsertStats, SessionWithFewerPairsThanStatPairs) {
+  // A stream shorter than the calibration prefix must still calibrate (the
+  // session estimates at finish() over whatever arrived).
+  PairedFixture fx(0.0, 40);  // 40 pairs << default stat_pairs = 512
+  const auto run = align_paired(fx, {});
+  ASSERT_FALSE(run.stats.dir[1].failed) << run.stats.summary();
+  EXPECT_GT(run.stats.pairs_sampled, 0u);
+  EXPECT_LE(run.stats.pairs_sampled, 40u);
+  EXPECT_GT(run.dstats.counters.pe_proper_pairs, 30u);
 }
 
 TEST(PairedSam, FlagInvariants) {

@@ -125,5 +125,42 @@ TEST(PairDeterminism, IdenticalAcrossWorkersChunksAndBatches) {
   }
 }
 
+TEST(PairDeterminism, RescueSkipOffIsInvariantAndCountPreserving) {
+  // With skipping disabled every window is scanned (the pre-skip
+  // behavior): output must still be invariant across threads, chunkings
+  // and batch sizes, and enabling skipping may drop windows but must not
+  // change proper-pair or rescued-pair counts.
+  Fixture fx;
+  DriverOptions off = fx.base_options();
+  off.pe.rescue_skip = false;
+  const RunOut ref = run_paired(fx, off, fx.reads.size());
+  ASSERT_GT(ref.counters.pe_rescue_jobs, 0u);
+  EXPECT_EQ(ref.counters.pe_rescue_win_skipped, 0u);
+
+  for (int threads : {2, 8}) {
+    DriverOptions opt = off;
+    opt.threads = threads;
+    opt.pipeline_workers = 1;
+    const RunOut run = run_paired(fx, opt, fx.reads.size());
+    ASSERT_EQ(run.sam, ref.sam) << "skip off, threads=" << threads;
+  }
+  for (std::size_t chunk : {7ul, 64ul}) {
+    const RunOut run = run_paired(fx, off, chunk);
+    ASSERT_EQ(run.sam, ref.sam) << "skip off, chunk=" << chunk;
+  }
+  {
+    DriverOptions opt = off;
+    opt.batch_size = 150;
+    const RunOut run = run_paired(fx, opt, fx.reads.size());
+    ASSERT_EQ(run.sam, ref.sam) << "skip off, batch=150";
+  }
+
+  const RunOut on = run_paired(fx, fx.base_options(), fx.reads.size());
+  EXPECT_EQ(on.counters.pe_proper_pairs, ref.counters.pe_proper_pairs);
+  EXPECT_EQ(on.counters.pe_rescued_pairs, ref.counters.pe_rescued_pairs);
+  EXPECT_LE(on.counters.pe_rescue_windows, ref.counters.pe_rescue_windows);
+  EXPECT_LE(on.counters.pe_rescue_jobs, ref.counters.pe_rescue_jobs);
+}
+
 }  // namespace
 }  // namespace mem2::align

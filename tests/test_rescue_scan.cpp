@@ -1,0 +1,243 @@
+// Rolling-hash rescue scan (pair/rescue_scan.h): RescueScanner must emit
+// exactly the anchor set of the reference nested memcmp scan — same
+// anchors, same order, same first-per-diagonal and max_anchors saturation
+// behavior, same exact-run annotations — for any k, table size, ambiguous
+// bases, window edges and probe-cap saturation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pair/rescue_scan.h"
+#include "util/rng.h"
+
+namespace mem2::pair {
+namespace {
+
+std::vector<seq::Code> random_codes(util::Xoshiro256ss& rng, int len,
+                                    double n_prob) {
+  std::vector<seq::Code> v(static_cast<std::size_t>(len));
+  for (auto& c : v)
+    c = rng.chance(n_prob) ? seq::kAmbig
+                           : static_cast<seq::Code>(rng.below(4));
+  return v;
+}
+
+std::vector<RescueAnchor> reference(std::span<const seq::Code> seq,
+                                    std::span<const seq::Code> win, int k,
+                                    int max_anchors) {
+  std::vector<RescueAnchor> out(kMaxRescueAnchors);
+  out.resize(static_cast<std::size_t>(
+      scan_rescue_anchors(seq, win, k, max_anchors, out.data())));
+  return out;
+}
+
+std::vector<RescueAnchor> rolling(std::span<const seq::Code> seq,
+                                  std::span<const seq::Code> win, int k,
+                                  int max_anchors, int hash_bits) {
+  RescueScanner scanner;
+  scanner.build(seq, k, hash_bits);
+  std::vector<RescueAnchor> out(kMaxRescueAnchors);
+  out.resize(static_cast<std::size_t>(
+      scanner.scan(win, max_anchors, out.data())));
+  return out;
+}
+
+void expect_same(std::span<const seq::Code> seq, std::span<const seq::Code> win,
+                 int k, int max_anchors, int hash_bits,
+                 const std::string& what) {
+  const auto ref = reference(seq, win, k, max_anchors);
+  const auto got = rolling(seq, win, k, max_anchors, hash_bits);
+  ASSERT_EQ(got.size(), ref.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].qbeg, ref[i].qbeg) << what << " anchor " << i;
+    EXPECT_EQ(got[i].tbeg, ref[i].tbeg) << what << " anchor " << i;
+    EXPECT_EQ(got[i].len, ref[i].len) << what << " anchor " << i;
+    EXPECT_EQ(got[i].exact_run, ref[i].exact_run) << what << " anchor " << i;
+  }
+}
+
+TEST(RescueScan, MatchesReferenceOnRandomInputs) {
+  util::Xoshiro256ss rng(20260727);
+  int windows_with_anchors = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const int k = 4 + static_cast<int>(rng.below(14));          // 4..17
+    const int l_seq = static_cast<int>(rng.below(180));         // 0..179
+    const int l_win = static_cast<int>(rng.below(500));         // 0..499
+    const double n_prob = iter % 3 == 0 ? 0.05 : 0.0;
+    const int max_anchors = 1 + static_cast<int>(rng.below(kMaxRescueAnchors));
+    const int hash_bits = 1 + static_cast<int>(rng.below(kMaxRescueHashBits));
+    auto seq = random_codes(rng, l_seq, n_prob);
+    auto win = random_codes(rng, l_win, n_prob);
+    // Plant mate fragments in the window so anchors actually occur: copy a
+    // few random substrings of seq to random window offsets.
+    for (int plant = 0; plant < 3 && l_seq >= k && l_win >= k; ++plant) {
+      const int frag = k + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(l_seq - k + 1)));
+      const int from = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(l_seq - frag + 1)));
+      if (frag > l_win) continue;
+      const int to = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(l_win - frag + 1)));
+      std::copy(seq.begin() + from, seq.begin() + from + frag,
+                win.begin() + to);
+    }
+    const auto ref = reference(seq, win, k, max_anchors);
+    windows_with_anchors += !ref.empty();
+    expect_same(seq, win, k, max_anchors, hash_bits,
+                "iter " + std::to_string(iter) + " k=" + std::to_string(k));
+  }
+  // The planting must make the comparison non-vacuous.
+  EXPECT_GT(windows_with_anchors, 100);
+}
+
+TEST(RescueScan, AnchorsAtWindowEdges) {
+  util::Xoshiro256ss rng(7);
+  const int k = 11;
+  auto seq = random_codes(rng, 101, 0.0);
+  // Window starts and ends exactly on probe matches.
+  std::vector<seq::Code> win = random_codes(rng, 300, 0.0);
+  std::copy(seq.begin(), seq.begin() + k, win.begin());                // t = 0
+  std::copy(seq.begin() + k, seq.begin() + 2 * k, win.end() - k);      // t = l_win - k
+  const auto ref = reference(seq, win, k, kMaxRescueAnchors);
+  ASSERT_GE(ref.size(), 2u);
+  EXPECT_EQ(ref.front().tbeg, 0);
+  EXPECT_EQ(ref.back().tbeg, static_cast<int>(win.size()) - k);
+  for (int bits : {1, 7, kMaxRescueHashBits})
+    expect_same(seq, win, k, kMaxRescueAnchors, bits,
+                "edges bits=" + std::to_string(bits));
+  // A window exactly k long.
+  std::vector<seq::Code> tiny(seq.begin(), seq.begin() + k);
+  expect_same(seq, tiny, k, kMaxRescueAnchors, 7, "window == k");
+  EXPECT_EQ(reference(seq, tiny, k, kMaxRescueAnchors).size(), 1u);
+}
+
+TEST(RescueScan, MaxAnchorSaturationStopsAtSamePoint) {
+  // A tandem-repeat window where every offset of the repeated probe
+  // matches: both scans must cut off at the same saturation anchor.
+  util::Xoshiro256ss rng(99);
+  const int k = 8;
+  auto seq = random_codes(rng, 64, 0.0);
+  std::vector<seq::Code> win;
+  for (int copies = 0; copies < 40; ++copies)
+    win.insert(win.end(), seq.begin(), seq.begin() + k);
+  for (int max_anchors : {1, 2, kMaxRescueAnchors, kMaxRescueAnchors + 5}) {
+    const auto ref = reference(seq, win, k, max_anchors);
+    EXPECT_EQ(static_cast<int>(ref.size()),
+              std::min(max_anchors, kMaxRescueAnchors));
+    expect_same(seq, win, k, max_anchors, 7,
+                "saturation max=" + std::to_string(max_anchors));
+  }
+}
+
+TEST(RescueScan, AmbiguousBasesNeverAnchor) {
+  const int k = 6;
+  // seq = one clean probe then one probe with an N (skipped at build).
+  std::vector<seq::Code> seq = {0, 1, 2, 3, 0, 1,
+                                2, 3, seq::kAmbig, 0, 1, 2};
+  // Window contains both probes verbatim: only the clean one may anchor.
+  std::vector<seq::Code> win;
+  win.insert(win.end(), seq.begin() + 6, seq.begin() + 12);
+  win.insert(win.end(), seq.begin(), seq.begin() + 6);
+  const auto ref = reference(seq, win, k, kMaxRescueAnchors);
+  ASSERT_EQ(ref.size(), 1u);
+  EXPECT_EQ(ref[0].qbeg, 0);
+  EXPECT_EQ(ref[0].tbeg, 6);
+  expect_same(seq, win, k, kMaxRescueAnchors, 7, "ambiguous probes");
+
+  // An N inside the window terminates exact runs but never matches.
+  std::vector<seq::Code> win2(seq.begin(), seq.begin() + 6);
+  win2.push_back(seq::kAmbig);
+  win2.insert(win2.end(), seq.begin(), seq.begin() + 6);
+  expect_same(seq, win2, k, kMaxRescueAnchors, 7, "ambiguous window");
+}
+
+TEST(RescueScan, ProbeCapIsBoundedAndShared) {
+  // 600 bases at k = 4 offers 150 candidate probes; both scans must cap at
+  // kMaxRescueProbes and still agree.
+  util::Xoshiro256ss rng(4242);
+  const int k = 4;
+  auto seq = random_codes(rng, 600, 0.0);
+  RescueScanner scanner;
+  scanner.build(seq, k, 7);
+  EXPECT_EQ(scanner.probe_count(), kMaxRescueProbes);
+  static_assert(kMaxRescueProbes >= kMaxRescueAnchors,
+                "probe cap must not undercut the anchor bound");
+
+  // An all-N window (no incidental 4-mer matches) with planted matches for
+  // probes on both sides of the cap: probe 10 (inside) and the k-mer at
+  // query offset kMaxRescueProbes * k (beyond the cap — the reference must
+  // ignore it too).
+  std::vector<seq::Code> win(400, seq::kAmbig);
+  std::copy(seq.begin() + 10 * k, seq.begin() + 11 * k, win.begin() + 50);
+  std::copy(seq.begin() + kMaxRescueProbes * k,
+            seq.begin() + (kMaxRescueProbes + 1) * k, win.begin() + 100);
+  const auto ref = reference(seq, win, k, kMaxRescueAnchors);
+  bool saw_capped_probe = false;
+  for (const auto& an : ref) {
+    EXPECT_LT(an.qbeg, kMaxRescueProbes * k) << "probe beyond the cap anchored";
+    saw_capped_probe |= an.qbeg == 10 * k;
+  }
+  EXPECT_TRUE(saw_capped_probe);
+  expect_same(seq, win, k, kMaxRescueAnchors, 7, "probe cap");
+}
+
+TEST(RescueScan, ExactRunAnnotations) {
+  const int k = 5;
+  // seq: 15 bases; window embeds bases [5, 10) with 3 matching bases on the
+  // left and 2 on the right, then a mismatch on each side.
+  util::Xoshiro256ss rng(1);
+  auto seq = random_codes(rng, 15, 0.0);
+  std::vector<seq::Code> win(20, seq::kAmbig);
+  for (int j = 0; j < 3; ++j) win[static_cast<std::size_t>(4 + j)] = seq[static_cast<std::size_t>(2 + j)];
+  for (int j = 0; j < k; ++j) win[static_cast<std::size_t>(7 + j)] = seq[static_cast<std::size_t>(5 + j)];
+  for (int j = 0; j < 2; ++j) win[static_cast<std::size_t>(12 + j)] = seq[static_cast<std::size_t>(10 + j)];
+  const auto ref = reference(seq, win, k, kMaxRescueAnchors);
+  ASSERT_EQ(ref.size(), 1u);
+  EXPECT_EQ(ref[0].qbeg, 5);
+  EXPECT_EQ(ref[0].tbeg, 7);
+  EXPECT_EQ(ref[0].exact_run, k + 3 + 2);
+  expect_same(seq, win, k, kMaxRescueAnchors, 7, "exact runs");
+}
+
+TEST(RescueScan, DegenerateInputs) {
+  util::Xoshiro256ss rng(3);
+  auto seq = random_codes(rng, 30, 0.0);
+  auto win = random_codes(rng, 30, 0.0);
+  RescueAnchor out[kMaxRescueAnchors];
+  RescueScanner scanner;
+  // k longer than the sequence, empty windows, k = 0.
+  scanner.build(seq, 40, 7);
+  EXPECT_EQ(scanner.probe_count(), 0);
+  EXPECT_EQ(scanner.scan(win, kMaxRescueAnchors, out), 0);
+  EXPECT_EQ(scan_rescue_anchors(seq, win, 40, kMaxRescueAnchors, out), 0);
+  scanner.build(seq, 0, 7);
+  EXPECT_EQ(scanner.scan(win, kMaxRescueAnchors, out), 0);
+  EXPECT_EQ(scan_rescue_anchors(seq, win, 0, kMaxRescueAnchors, out), 0);
+  scanner.build(seq, 11, 7);
+  EXPECT_EQ(scanner.scan(std::span<const seq::Code>(), kMaxRescueAnchors, out), 0);
+  // Window shorter than k.
+  std::vector<seq::Code> shorty(seq.begin(), seq.begin() + 5);
+  EXPECT_EQ(scanner.scan(shorty, kMaxRescueAnchors, out), 0);
+  EXPECT_EQ(scan_rescue_anchors(seq, shorty, 11, kMaxRescueAnchors, out), 0);
+  // All-ambiguous sequence has no probes.
+  std::vector<seq::Code> ns(60, seq::kAmbig);
+  scanner.build(ns, 11, 7);
+  EXPECT_EQ(scanner.probe_count(), 0);
+  EXPECT_EQ(scanner.scan(win, kMaxRescueAnchors, out), 0);
+}
+
+TEST(RescueScan, FingerprintDistinguishesContent) {
+  util::Xoshiro256ss rng(8);
+  auto a = random_codes(rng, 200, 0.0);
+  auto b = a;
+  EXPECT_EQ(window_fingerprint(a), window_fingerprint(b));
+  b[100] = static_cast<seq::Code>((b[100] + 1) & 3);
+  EXPECT_NE(window_fingerprint(a), window_fingerprint(b));
+  // Length participates: a prefix is not the same fingerprint.
+  std::vector<seq::Code> prefix(a.begin(), a.end() - 1);
+  EXPECT_NE(window_fingerprint(a), window_fingerprint(prefix));
+}
+
+}  // namespace
+}  // namespace mem2::pair
