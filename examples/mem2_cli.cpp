@@ -16,10 +16,13 @@
 #include <iostream>
 
 #include "align/aligner.h"
+#include "align/status.h"
 #include "io/fasta.h"
 #include "io/fastq.h"
 #include "seq/genome_sim.h"
 #include "seq/read_sim.h"
+#include "util/cpu_features.h"
+#include "util/fault_injector.h"
 
 using namespace mem2;
 
@@ -38,11 +41,35 @@ int usage() {
       "                        (two FASTQ files imply paired mode)\n"
       "      -k N              min seed length\n"
       "      -T N              min output score\n"
+      "      --ingest strict|skip\n"
+      "                        damaged-FASTQ policy: fail fast (default) or\n"
+      "                        resync at the next '@' header and report counts\n"
+      "      --fault site[:nth]\n"
+      "                        arm the fault injector (testing; also MEM2_FAULT)\n"
       "  mem2_cli simulate <out.fasta> <length> [seed]\n"
       "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n"
       "  mem2_cli wgsim-pe <ref.fasta> <out1.fastq> <out2.fastq> <n_pairs>"
-      " <read_len> [insert_mean] [insert_std] [seed]\n";
+      " <read_len> [insert_mean] [insert_std] [seed]\n"
+      "exit codes: 2 usage/invalid argument, 3 I/O error, 4 data corruption,"
+      " 5 internal error\n";
   return 2;
+}
+
+/// Exit code contract (documented in README "Failure modes & exit codes").
+int exit_code(align::ErrorCode code) {
+  switch (code) {
+    case align::ErrorCode::kOk: return 0;
+    case align::ErrorCode::kInvalidArgument: return 2;
+    case align::ErrorCode::kIoError: return 3;
+    case align::ErrorCode::kDataCorruption: return 4;
+    case align::ErrorCode::kInternal: return 5;
+  }
+  return 5;
+}
+
+int fail(const align::Status& st) {
+  std::cerr << "mem2: error: " << st.to_string() << '\n';
+  return exit_code(st.code());
 }
 
 /// strtoll with full-consumption and range checks: "12x", "", overflow and
@@ -89,6 +116,7 @@ int cmd_index(int argc, char** argv) {
 int cmd_mem(int argc, char** argv) {
   align::DriverOptions opt;
   bool interleaved = false;
+  io::FastqPolicy ingest = io::FastqPolicy::kStrict;
   long long v = 0;
   int i = 0;
   for (; i < argc && argv[i][0] == '-'; ++i) {
@@ -111,6 +139,23 @@ int cmd_mem(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "-T") && i + 1 < argc) {
       if (!parse_arg("-T", argv[++i], 0, INT_MAX, v)) return usage();
       opt.mem.min_out_score = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--ingest") && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p == "strict") {
+        ingest = io::FastqPolicy::kStrict;
+      } else if (p == "skip") {
+        ingest = io::FastqPolicy::kSkip;
+      } else {
+        std::cerr << "mem2_cli: --ingest expects 'strict' or 'skip', got '"
+                  << p << "'\n";
+        return usage();
+      }
+    } else if (!std::strcmp(argv[i], "--fault") && i + 1 < argc) {
+      if (!util::FaultInjector::instance().arm(argv[++i])) {
+        std::cerr << "mem2_cli: invalid --fault spec '" << argv[i]
+                  << "' (expected site[:nth])\n";
+        return usage();
+      }
     } else {
       std::cerr << "mem2_cli: unknown option " << argv[i] << '\n';
       return usage();
@@ -130,10 +175,7 @@ int cmd_mem(int argc, char** argv) {
   const auto index = index::load_index(argv[i]);
 
   const align::Aligner aligner(index, opt);
-  if (!aligner.ok()) {
-    std::cerr << "mem2_cli: " << aligner.status().message() << '\n';
-    return 2;
-  }
+  if (!aligner.ok()) return fail(aligner.status());
 
   std::cerr << "[mem2] streaming " << argv[i + 1]
             << (two_files ? std::string(" + ") + argv[i + 2] : std::string())
@@ -147,33 +189,38 @@ int cmd_mem(int argc, char** argv) {
 
   // One batch is staged here, at most queue_depth + workers batches are in
   // flight inside the session: memory stays O(queue_depth × batch_size).
+  align::Status submit_st;
   const auto submit = [&](std::vector<seq::Read>&& chunk) {
-    if (const auto st = stream.submit(std::move(chunk)); !st.ok()) {
-      std::cerr << "mem2_cli: " << st.message() << '\n';
-      return false;
-    }
-    return true;
+    submit_st = stream.submit(std::move(chunk));
+    return submit_st.ok();
   };
+  std::uint64_t records_skipped = 0, pairs_dropped = 0;
   std::vector<seq::Read> chunk;
   if (opt.paired) {
     auto paired = two_files
-                      ? io::PairedFastqStream(argv[i + 1], argv[i + 2])
-                      : io::PairedFastqStream(argv[i + 1]);
+                      ? io::PairedFastqStream(argv[i + 1], argv[i + 2], ingest)
+                      : io::PairedFastqStream(argv[i + 1], ingest);
     const auto pairs_per_chunk = static_cast<std::size_t>(opt.batch_size) / 2;
     while (paired.next_chunk(chunk, pairs_per_chunk) > 0) {
-      if (!submit(std::move(chunk))) return 1;
+      if (!submit(std::move(chunk))) return fail(submit_st);
       chunk = {};
     }
+    records_skipped = paired.records_skipped();
+    pairs_dropped = paired.pairs_dropped();
   } else {
-    io::FastqStream fastq(argv[i + 1]);
+    io::FastqStream fastq(argv[i + 1], ingest);
     while (fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
-      if (!submit(std::move(chunk))) return 1;
+      if (!submit(std::move(chunk))) return fail(submit_st);
       chunk = {};
     }
+    records_skipped = fastq.records_skipped();
   }
-  if (const auto st = stream.finish(); !st.ok()) {
-    std::cerr << "mem2_cli: " << st.message() << '\n';
-    return 1;
+  if (const auto st = stream.finish(); !st.ok()) return fail(st);
+  if (ingest == io::FastqPolicy::kSkip && (records_skipped || pairs_dropped)) {
+    std::cerr << "[mem2] ingest: skipped " << records_skipped
+              << " damaged record(s)";
+    if (opt.paired) std::cerr << ", dropped " << pairs_dropped << " pair(s)";
+    std::cerr << '\n';
   }
 
   std::cerr << "[mem2] " << stream.stats().reads << " reads -> "
@@ -268,14 +315,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    // Resolve the ISA cap eagerly so a bad MEM2_FORCE_ISA value fails here
+    // as a usage error (exit 2) instead of mid-alignment on a worker thread.
+    util::dispatch_isa();
     if (cmd == "index") return cmd_index(argc - 2, argv + 2);
     if (cmd == "mem") return cmd_mem(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "wgsim") return cmd_wgsim(argc - 2, argv + 2);
     if (cmd == "wgsim-pe") return cmd_wgsim_pe(argc - 2, argv + 2);
   } catch (const std::exception& e) {
-    std::cerr << "mem2_cli: " << e.what() << '\n';
-    return 1;
+    // Every escaping exception maps onto the Status taxonomy and from
+    // there onto the documented exit codes (2/3/4/5).
+    return fail(align::Status::from_exception(e));
   }
   return usage();
 }

@@ -12,8 +12,16 @@
 //     next-in-order batch drains the buffer to the sink under emit_mu_, so
 //     records always reach the sink in read order and the buffer never
 //     holds more than (queue_depth + workers) batches.
-//   - Errors are sticky: the first failure is recorded, wakes any blocked
-//     producer, and suppresses all further sink writes; finish() reports it.
+//   - Errors are sticky: the first failure is recorded — as a Status
+//     carrying the ErrorCode, failing stage and the first read of the
+//     failing batch — wakes any blocked producer, and suppresses all
+//     further sink writes; submit()/finish() report it fast.  Workers keep
+//     draining the queue after a failure so back-pressure never deadlocks,
+//     and because the ordered writer stops at the first missing batch the
+//     sink is always left at a batch boundary (no torn records).  A failed
+//     Stream stays safe to call (submit/finish return the sticky error)
+//     and the Aligner can open() a fresh Stream immediately — failure is
+//     per-session, not per-process.
 //
 // Output is byte-identical to the one-shot path because batch results are
 // independent of chunking (batch-size and thread-count invariance of the
@@ -31,6 +39,7 @@
 #include <thread>
 
 #include "util/common.h"
+#include "util/fault_injector.h"
 
 namespace mem2::align {
 
@@ -163,7 +172,8 @@ struct Stream::Impl {
         pe_stats = pair::estimate_insert_stats(samples, options.pe);
       }
     } catch (const std::exception& e) {
-      fail(Status::invalid(e.what()));
+      fail(Status::from_exception(e).with_context(
+          "calibration", calib.empty() ? std::string() : calib.front().name));
       return snapshot_status();
     }
     pe_ready = true;
@@ -195,18 +205,35 @@ struct Stream::Impl {
       q_not_full.notify_one();
       if (failed.load(std::memory_order_acquire)) continue;  // drain only
 
+      const std::string first_read =
+          item.reads.empty() ? std::string() : item.reads.front().name;
+      std::vector<io::SamRecord> flat;
+      bool aligned = false;
       try {
+        if (util::fault_point("align.worker"))
+          throw invariant_error("injected fault: align.worker");
         per_read.clear();
         align_chunk(index, item.reads, wopt, options.paired ? &pe_stats : nullptr,
                     workspace, per_read, &local_stats);
 
-        std::vector<io::SamRecord> flat;
         std::size_t total = 0;
         for (const auto& v : per_read) total += v.size();
         flat.reserve(total);
         for (auto& v : per_read)
           for (auto& rec : v) flat.push_back(std::move(rec));
+        aligned = true;
+      } catch (const std::exception& e) {
+        fail(Status::from_exception(e).with_context(
+            "align-worker batch " + std::to_string(item.seq), first_read));
+      } catch (...) {
+        fail(Status::internal("unknown error in alignment worker")
+                 .with_context("align-worker batch " + std::to_string(item.seq),
+                               first_read));
+      }
+      if (!aligned) continue;  // the batch never parks: output stays at a
+                               // batch boundary behind the failure point
 
+      try {
         // Ordered emit: park the batch, then drain every consecutive
         // ready batch starting at next_emit.
         std::lock_guard<std::mutex> lk(emit_mu);
@@ -219,9 +246,10 @@ struct Stream::Impl {
           ++next_emit;
         }
       } catch (const std::exception& e) {
-        fail(Status::invalid(e.what()));
+        fail(Status::from_exception(e).with_context("sam-emit", first_read));
       } catch (...) {
-        fail(Status::invalid("unknown error in alignment worker"));
+        fail(Status::internal("unknown error writing SAM output")
+                 .with_context("sam-emit", first_read));
       }
     }
 

@@ -7,17 +7,19 @@ namespace mem2::align {
 
 // Compatibility shim over the streaming session: open -> submit once ->
 // finish, collecting into memory.  Validation therefore runs exactly once,
-// at Aligner construction; a non-ok Status is converted back to the throw
-// this API always had.
+// at Aligner construction; a non-ok Status is converted back into the
+// exception type matching its error code (throw_status), so callers that
+// predate Status still see io_error / corruption_error / invalid_argument
+// rather than a flattened invariant failure.
 std::vector<io::SamRecord> align_reads(const index::Mem2Index& index,
                                        const std::vector<seq::Read>& reads,
                                        const DriverOptions& options,
                                        DriverStats* stats) {
   Aligner aligner(index, options);
-  MEM2_REQUIRE(aligner.ok(), aligner.status().message());
+  if (!aligner.ok()) throw_status(aligner.status());
   CollectSamSink sink;
   const Status st = aligner.align(reads, sink, stats);
-  MEM2_REQUIRE(st.ok(), st.message());
+  if (!st.ok()) throw_status(st);
   return sink.take_records();
 }
 

@@ -41,6 +41,8 @@
 #include "pair/pairing.h"
 #include "smem/smem_executor.h"
 #include "util/arena.h"
+#include "util/fault_injector.h"
+#include "util/omp_guard.h"
 
 namespace mem2::align {
 
@@ -210,6 +212,11 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
   bsw::BswExecutor& executor = ws.executor;
   const int bsw_threads = executor.threads();
   util::StageTimes& st0 = thread_stages[0];  // serial-section accounting
+  // Exceptions thrown inside the parallel regions below (index invariant
+  // violations, bad_alloc, injected faults) are captured per-iteration and
+  // rethrown on this thread after each region joins, so they reach the
+  // session worker's Status boundary instead of terminating the process.
+  util::OmpExceptionGuard guard;
 
   arena.reset();
 
@@ -236,11 +243,14 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     }
 #pragma omp parallel for schedule(static) num_threads(n_threads)
     for (int i = 0; i < nb; ++i) {
-      ReadState& rs = states[static_cast<std::size_t>(i)];
-      const std::string& bases = reads[batch_beg + static_cast<std::size_t>(i)].bases;
-      for (std::size_t j = 0; j < bases.size(); ++j)
-        rs.query[j] = seq::char_to_code(bases[j]);
+      guard.run([&] {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        const std::string& bases = reads[batch_beg + static_cast<std::size_t>(i)].bases;
+        for (std::size_t j = 0; j < bases.size(); ++j)
+          rs.query[j] = seq::char_to_code(bases[j]);
+      });
     }
+    guard.rethrow();
   }
 
   // --- SMEM stage (whole batch): each thread takes a group of reads and
@@ -262,16 +272,18 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     util::Timer timer;
 #pragma omp for schedule(dynamic, 1)
     for (int g = 0; g < n_groups; ++g) {
-      const int beg = g * group;
-      const int end = std::min(nb, beg + group);
-      smem::QueryRef qrefs[kSmemGroup];
-      for (int i = beg; i < end; ++i) {
-        ReadState& rs = states[static_cast<std::size_t>(i)];
-        qrefs[i - beg] = smem::QueryRef{rs.query, &rs.smems};
-      }
-      smem_executors[static_cast<std::size_t>(tid)].collect(
-          index.fm32(), std::span(qrefs, static_cast<std::size_t>(end - beg)),
-          options.mem.seeding, prefetch);
+      guard.run([&] {
+        const int beg = g * group;
+        const int end = std::min(nb, beg + group);
+        smem::QueryRef qrefs[kSmemGroup];
+        for (int i = beg; i < end; ++i) {
+          ReadState& rs = states[static_cast<std::size_t>(i)];
+          qrefs[i - beg] = smem::QueryRef{rs.query, &rs.smems};
+        }
+        smem_executors[static_cast<std::size_t>(tid)].collect(
+            index.fm32(), std::span(qrefs, static_cast<std::size_t>(end - beg)),
+            options.mem.seeding, prefetch);
+      });
     }
     st[util::Stage::kSmem] += timer.seconds();
 
@@ -279,9 +291,11 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     timer.restart();
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
-      ReadState& rs = states[static_cast<std::size_t>(i)];
-      smem_executors[static_cast<std::size_t>(tid)].gather_seeds(
-          rs.smems, options.mem.chaining, index.flat_sa(), rs.seeds);
+      guard.run([&] {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        smem_executors[static_cast<std::size_t>(tid)].gather_seeds(
+            rs.smems, options.mem.chaining, index.flat_sa(), rs.seeds);
+      });
     }
     st[util::Stage::kSal] += timer.seconds();
 
@@ -289,13 +303,15 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     timer.restart();
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
-      ReadState& rs = states[static_cast<std::size_t>(i)];
-      rs.frac_rep = chain::repetitive_fraction(
-          rs.smems, static_cast<int>(rs.query.size()), options.mem.chaining.max_occ);
-      rs.chains = chain::build_chains(index.ref(), index.l_pac(), rs.seeds,
-                                      static_cast<int>(rs.query.size()),
-                                      options.mem.chaining, rs.frac_rep);
-      chain::filter_chains(rs.chains, options.mem.chaining);
+      guard.run([&] {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        rs.frac_rep = chain::repetitive_fraction(
+            rs.smems, static_cast<int>(rs.query.size()), options.mem.chaining.max_occ);
+        rs.chains = chain::build_chains(index.ref(), index.l_pac(), rs.seeds,
+                                        static_cast<int>(rs.query.size()),
+                                        options.mem.chaining, rs.frac_rep);
+        chain::filter_chains(rs.chains, options.mem.chaining);
+      });
     }
     st[util::Stage::kChain] += timer.seconds();
 
@@ -303,24 +319,27 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     timer.restart();
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
-      ReadState& rs = states[static_cast<std::size_t>(i)];
-      if (rs.chains.empty()) continue;  // query_rev never needed
-      // Deferred from encoding: the reversed query's first reader is job
-      // construction below, so only reads that reach extension pay for it.
-      for (std::size_t j = 0; j < rs.query.size(); ++j)
-        rs.query_rev[rs.query.size() - 1 - j] = rs.query[j];
-      ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
-      rs.crefs.reserve(rs.chains.size());
-      rs.table.resize(rs.chains.size());
-      for (std::size_t ci = 0; ci < rs.chains.size(); ++ci) {
-        rs.crefs.push_back(make_chain_ref(ctx, rs.chains[ci]));
-        rs.table[ci].assign(rs.chains[ci].seeds.size(), SeedJobResults{});
-      }
+      guard.run([&] {
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        if (rs.chains.empty()) return;  // query_rev never needed
+        // Deferred from encoding: the reversed query's first reader is job
+        // construction below, so only reads that reach extension pay for it.
+        for (std::size_t j = 0; j < rs.query.size(); ++j)
+          rs.query_rev[rs.query.size() - 1 - j] = rs.query[j];
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        rs.crefs.reserve(rs.chains.size());
+        rs.table.resize(rs.chains.size());
+        for (std::size_t ci = 0; ci < rs.chains.size(); ++ci) {
+          rs.crefs.push_back(make_chain_ref(ctx, rs.chains[ci]));
+          rs.table[ci].assign(rs.chains[ci].seeds.size(), SeedJobResults{});
+        }
+      });
     }
     st[util::Stage::kBswPre] += timer.seconds();
     thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
     util::tls_counters().reset();
   }
+  guard.rethrow();
 
   // --- BSW stage: four pooled SIMD rounds.  Both halves run parallel:
   // job enumeration builds contiguous per-block lists spliced in read
@@ -336,15 +355,18 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
       const int n_blocks = static_cast<int>(blocks.size());
 #pragma omp parallel for schedule(static, 1) num_threads(bsw_threads)
       for (int b = 0; b < n_blocks; ++b) {
-        JobBlock& jb = blocks[static_cast<std::size_t>(b)];
-        jb.jobs.clear();
-        jb.refs.clear();
-        const int beg = static_cast<int>(
-            static_cast<std::int64_t>(n_items) * b / n_blocks);
-        const int end = static_cast<int>(
-            static_cast<std::int64_t>(n_items) * (b + 1) / n_blocks);
-        for (int k = beg; k < end; ++k) body(k, jb);
+        guard.run([&] {
+          JobBlock& jb = blocks[static_cast<std::size_t>(b)];
+          jb.jobs.clear();
+          jb.refs.clear();
+          const int beg = static_cast<int>(
+              static_cast<std::int64_t>(n_items) * b / n_blocks);
+          const int end = static_cast<int>(
+              static_cast<std::int64_t>(n_items) * (b + 1) / n_blocks);
+          for (int k = beg; k < end; ++k) body(k, jb);
+        });
       }
+      guard.rethrow();
       jobs.clear();
       refs.clear();
       for (const JobBlock& jb : blocks) {
@@ -453,25 +475,30 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
-      ReadState& rs = states[static_cast<std::size_t>(i)];
-      ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
-      TableSource source(rs);
-      rs.regs.clear();
-      {
-        util::ScopedStage s(st, util::Stage::kBswPre);
-        process_chains(ctx, rs.chains, source, rs.regs);
-      }
-      {
-        util::ScopedStage s(st, util::Stage::kSamForm);
-        sort_dedup_regions(rs.regs, options.mem);
-        mark_primary(rs.regs, options.mem);
-        if (emit_sam)
-          (*per_read)[batch_beg + static_cast<std::size_t>(i)] =
-              regions_to_sam(ctx, reads[batch_beg + static_cast<std::size_t>(i)], rs.regs);
-      }
+      guard.run([&] {
+        if (util::fault_point("align.batch"))
+          throw invariant_error("injected fault: align.batch");
+        ReadState& rs = states[static_cast<std::size_t>(i)];
+        ExtendContext ctx{options.mem, index, rs.query, rs.query_rev};
+        TableSource source(rs);
+        rs.regs.clear();
+        {
+          util::ScopedStage s(st, util::Stage::kBswPre);
+          process_chains(ctx, rs.chains, source, rs.regs);
+        }
+        {
+          util::ScopedStage s(st, util::Stage::kSamForm);
+          sort_dedup_regions(rs.regs, options.mem);
+          mark_primary(rs.regs, options.mem);
+          if (emit_sam)
+            (*per_read)[batch_beg + static_cast<std::size_t>(i)] =
+                regions_to_sam(ctx, reads[batch_beg + static_cast<std::size_t>(i)], rs.regs);
+        }
+      });
     }
     thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
   }
+  guard.rethrow();
 
   if (stats) {
     std::uint64_t used = 0;
@@ -495,6 +522,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   std::vector<ReadState>& states = ws.states;
   util::StageTimes& st0 = ws.thread_stages[0];
   util::Timer pair_timer;
+  util::OmpExceptionGuard guard;  // see batch_regions
 
   // --- Rescue harvest: parallel blocks over contiguous pair ranges,
   // spliced in pair order (same discipline as the extension rounds).
@@ -519,6 +547,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   const int rescue_k = popt.rescue_seed_len;
 #pragma omp parallel for schedule(static, 1) num_threads(static_cast<int>(ws.blocks.size()))
   for (int b = 0; b < n_blocks; ++b) {
+    guard.run([&] {
     PairBlock& pb = ws.pair_blocks[static_cast<std::size_t>(b)];
     pb.attempts.clear();
     pb.windows = pb.win_skipped = pb.win_deduped = 0;
@@ -650,7 +679,9 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
         }
       }
     }
+    });
   }
+  guard.rethrow();
 
   // Splice attempts in block (= pair) order, rebasing intra-block dup_of
   // references onto the spliced list; build per-pair offsets.
@@ -790,6 +821,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
     util::Timer timer;
 #pragma omp for schedule(dynamic, 8)
     for (int p = 0; p < n_pairs; ++p) {
+      guard.run([&] {
       ReadState& r1 = states[static_cast<std::size_t>(2 * p)];
       ReadState& r2 = states[static_cast<std::size_t>(2 * p + 1)];
       ReadState* rs[2] = {&r1, &r2};
@@ -830,11 +862,13 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
       const std::size_t g1 = batch_beg + static_cast<std::size_t>(2 * p);
       pair::pair_to_sam(ctx1, ctx2, reads[g1], reads[g1 + 1], r1.regs, r2.regs,
                         decision, per_read[g1], per_read[g1 + 1]);
+      });
     }
     st[util::Stage::kPair] += timer.seconds();
     ws.thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
     util::tls_counters().reset();
   }
+  guard.rethrow();
 }
 
 /// Workspace configuration + batch slicing shared by align_chunk and

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "io/sam.h"
+#include "util/common.h"
+#include "util/fault_injector.h"
 
 namespace mem2::align {
 
@@ -31,21 +33,54 @@ class SamSink {
 };
 
 /// Formats records as SAM text lines onto an ostream (e.g. std::cout).
+///
+/// Every write checks the stream state afterwards and throws io_error on
+/// failure, so a full disk or closed pipe surfaces as Status kIoError at
+/// the session layer instead of silently truncating the SAM output.  The
+/// per-batch bulk write formats the whole batch into one buffer first, so
+/// at this API's level a failing batch is all-or-nothing — combined with
+/// the ordered writer suppressing output after the first failure, the SAM
+/// text always ends at a batch boundary.
 class OstreamSamSink final : public SamSink {
  public:
   explicit OstreamSamSink(std::ostream& out) : out_(out) {}
 
-  void write_header(const std::string& header) override { out_ << header; }
+  void write_header(const std::string& header) override {
+    out_ << header;
+    check();
+  }
   void write_record(const io::SamRecord& record) override {
     out_ << record.to_line() << '\n';
     ++records_written_;
+    check();
   }
-  void flush() override { out_.flush(); }
+  void write_records(std::vector<io::SamRecord>&& records) override {
+    buf_.clear();
+    for (const auto& rec : records) {
+      buf_ += rec.to_line();
+      buf_ += '\n';
+    }
+    if (util::fault_point("sam.write")) out_.setstate(std::ios::badbit);
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    records_written_ += records.size();
+    check();
+  }
+  void flush() override {
+    out_.flush();
+    check();
+  }
 
   std::uint64_t records_written() const { return records_written_; }
 
  private:
+  void check() const {
+    if (!out_)
+      throw io_error(
+          "SAM output stream write failed (disk full or closed pipe?)");
+  }
+
   std::ostream& out_;
+  std::string buf_;  // batch formatting buffer, capacity reused
   std::uint64_t records_written_ = 0;
 };
 

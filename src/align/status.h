@@ -2,31 +2,124 @@
 //
 // Construction-time validation and streaming-time failures surface as a
 // Status instead of an exception, so a server embedding the aligner can
-// reject a bad configuration per-session without unwinding.  The legacy
-// align_reads() shim converts a non-ok Status back into invariant_error.
+// reject a bad configuration per-session without unwinding.  A Status
+// carries a machine-checkable ErrorCode (so callers can choose exit codes
+// or retry policies without parsing messages) plus the pipeline context of
+// the first failure: the stage that recorded it and, when known, the name
+// of the first read of the failing batch.  The legacy align_reads() shim
+// converts a non-ok Status back into the matching exception type.
 #pragma once
 
 #include <string>
 #include <utility>
 
+#include "util/common.h"
+
 namespace mem2::align {
+
+/// Failure classification for session errors.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,  // bad options / misuse of the API (caller error)
+  kIoError,          // the outside world failed: unreadable input, full disk
+  kDataCorruption,   // persisted data failed integrity validation
+  kInternal,         // an invariant broke inside the pipeline
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kDataCorruption: return "data-corruption";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
 
 class Status {
  public:
   /// Default-constructed Status is success.
   Status() = default;
 
-  static Status invalid(std::string message) { return Status(std::move(message)); }
+  static Status invalid(std::string message) {
+    return Status(ErrorCode::kInvalidArgument, std::move(message));
+  }
+  static Status io(std::string message) {
+    return Status(ErrorCode::kIoError, std::move(message));
+  }
+  static Status corruption(std::string message) {
+    return Status(ErrorCode::kDataCorruption, std::move(message));
+  }
+  static Status internal(std::string message) {
+    return Status(ErrorCode::kInternal, std::move(message));
+  }
 
-  bool ok() const { return message_.empty(); }
+  /// Classify a caught exception by its concrete type: io_error -> kIoError,
+  /// corruption_error -> kDataCorruption, std::invalid_argument ->
+  /// kInvalidArgument, everything else (incl. invariant_error) -> kInternal.
+  static Status from_exception(const std::exception& e) {
+    if (dynamic_cast<const io_error*>(&e)) return io(e.what());
+    if (dynamic_cast<const corruption_error*>(&e)) return corruption(e.what());
+    if (dynamic_cast<const std::invalid_argument*>(&e)) return invalid(e.what());
+    return internal(e.what());
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
   explicit operator bool() const { return ok(); }
+
+  ErrorCode code() const { return code_; }
 
   /// Empty for success; the first failure description otherwise.
   const std::string& message() const { return message_; }
 
+  /// Pipeline stage that recorded the failure (e.g. "align-worker",
+  /// "sam-emit", "calibration"); empty when not a pipeline error.
+  const std::string& stage() const { return stage_; }
+
+  /// Name of the first read of the failing batch, when known.
+  const std::string& read() const { return read_; }
+
+  /// Attach pipeline context; returns *this for chaining at the fail site.
+  Status& with_context(std::string stage, std::string read = {}) {
+    stage_ = std::move(stage);
+    read_ = std::move(read);
+    return *this;
+  }
+
+  /// One-line rendering: "[io-error] stage=sam-emit read=r17: disk full".
+  std::string to_string() const {
+    if (ok()) return "ok";
+    std::string s = "[";
+    s += error_code_name(code_);
+    s += ']';
+    if (!stage_.empty()) s += " stage=" + stage_;
+    if (!read_.empty()) s += " read=" + read_;
+    s += ": ";
+    s += message_;
+    return s;
+  }
+
  private:
-  explicit Status(std::string message) : message_(std::move(message)) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    if (message_.empty()) message_ = error_code_name(code_);
+  }
+  ErrorCode code_ = ErrorCode::kOk;
   std::string message_;
+  std::string stage_;
+  std::string read_;
 };
+
+/// Convert a non-ok Status back into the exception family it came from —
+/// the inverse of Status::from_exception, used by throwing compatibility
+/// shims (align_reads).
+[[noreturn]] inline void throw_status(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kIoError: throw io_error(status.to_string());
+    case ErrorCode::kDataCorruption: throw corruption_error(status.to_string());
+    default: throw invariant_error(status.to_string());
+  }
+}
 
 }  // namespace mem2::align

@@ -80,8 +80,12 @@ class Mem2Index {
   FlatSA flat_sa_;
 };
 
-/// Binary serialization (index/<name>.m2i).
-void save_index(const std::string& path, const Mem2Index& index);
+/// Binary serialization (index/<name>.m2i).  Writes the v2 container:
+/// named sections, each with a xxhash64 checksum footer, verified on load
+/// so bit flips and truncation surface as corruption_error naming the
+/// damaged section.  version=1 writes the deprecated unchecksummed format
+/// (transition tooling only); load_index accepts both, warning on v1.
+void save_index(const std::string& path, const Mem2Index& index, int version = 2);
 Mem2Index load_index(const std::string& path);
 
 }  // namespace mem2::index

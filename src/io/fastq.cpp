@@ -6,6 +6,8 @@
 #include <ostream>
 
 #include "util/common.h"
+#include "util/fault_injector.h"
+#include "util/sw_counters.h"
 
 namespace mem2::io {
 
@@ -19,10 +21,11 @@ bool get_trimmed(std::istream& in, std::string& line) {
 
 }  // namespace
 
-FastqStream::FastqStream(std::istream& in) : in_(&in) {}
+FastqStream::FastqStream(std::istream& in, FastqPolicy policy)
+    : in_(&in), policy_(policy) {}
 
-FastqStream::FastqStream(const std::string& path)
-    : owned_(std::make_unique<std::ifstream>(path)) {
+FastqStream::FastqStream(const std::string& path, FastqPolicy policy)
+    : owned_(std::make_unique<std::ifstream>(path)), policy_(policy) {
   if (!*owned_) throw io_error("cannot open FASTQ file: " + path);
   in_ = owned_.get();
 }
@@ -31,28 +34,78 @@ FastqStream::~FastqStream() = default;
 FastqStream::FastqStream(FastqStream&&) noexcept = default;
 FastqStream& FastqStream::operator=(FastqStream&&) noexcept = default;
 
-bool FastqStream::next_read(seq::Read& read) {
+/// Next candidate header line: a '@' line stashed by resynchronization, or
+/// the next non-blank line of the stream.  False at end of input.
+bool FastqStream::next_header(std::string& header) {
+  if (have_pending_header_) {
+    header = std::move(pending_header_);
+    have_pending_header_ = false;
+    return true;
+  }
   // Skip blank lines between records (and tolerate a trailing newline).
   do {
-    if (!get_trimmed(*in_, header_)) return false;
-  } while (header_.empty());
+    if (!get_trimmed(*in_, header)) return false;
+  } while (header.empty());
+  return true;
+}
 
-  if (header_[0] != '@') throw io_error("FASTQ: expected '@' header, got: " + header_);
-  if (!get_trimmed(*in_, read.bases)) throw io_error("FASTQ: truncated record (no sequence)");
-  if (!get_trimmed(*in_, plus_)) throw io_error("FASTQ: truncated record (no '+')");
-  if (plus_.empty() || plus_[0] != '+') throw io_error("FASTQ: expected '+' line");
-  if (!get_trimmed(*in_, read.qual)) throw io_error("FASTQ: truncated record (no quality)");
+FastqStream::Parse FastqStream::try_parse(seq::Read& read) {
+  if (!next_header(header_)) return Parse::kEof;
+
+  auto bad = [&](std::string what) {
+    error_ = std::move(what);
+    return Parse::kBad;
+  };
+  if (header_[0] != '@')
+    return bad("FASTQ: expected '@' header, got: " + header_);
+  if (!get_trimmed(*in_, read.bases))
+    return bad("FASTQ: truncated record (no sequence)");
+  if (!get_trimmed(*in_, plus_))
+    return bad("FASTQ: truncated record (no '+')");
+  if (plus_.empty() || plus_[0] != '+') return bad("FASTQ: expected '+' line");
+  if (!get_trimmed(*in_, read.qual))
+    return bad("FASTQ: truncated record (no quality)");
   if (read.qual.size() != read.bases.size())
-    throw io_error("FASTQ: quality length != sequence length for " + header_);
+    return bad("FASTQ: quality length != sequence length for " + header_);
 
   std::size_t name_end = 1;
   while (name_end < header_.size() &&
          !std::isspace(static_cast<unsigned char>(header_[name_end])))
     ++name_end;
   read.name.assign(header_, 1, name_end - 1);
-  if (read.name.empty()) throw io_error("FASTQ: empty read name");
-  ++reads_parsed_;
-  return true;
+  if (read.name.empty()) return bad("FASTQ: empty read name");
+  return Parse::kOk;
+}
+
+bool FastqStream::next_read(seq::Read& read) {
+  return next_read_ordinal(read, nullptr);
+}
+
+bool FastqStream::next_read_ordinal(seq::Read& read, std::uint64_t* ordinal) {
+  if (util::fault_point("fastq.read"))
+    throw io_error("injected fault: fastq.read");
+  for (;;) {
+    const Parse r = try_parse(read);
+    if (r == Parse::kEof) return false;
+    if (r == Parse::kOk) {
+      if (ordinal) *ordinal = reads_parsed_ + records_skipped_;
+      ++reads_parsed_;
+      return true;
+    }
+    if (policy_ == FastqPolicy::kStrict) throw io_error(error_);
+    // Skip policy: the damaged record counts once, however many garbage
+    // lines it spans — resynchronize at the next '@' header line.
+    ++records_skipped_;
+    ++util::tls_counters().io_records_skipped;
+    std::string line;
+    while (get_trimmed(*in_, line)) {
+      if (!line.empty() && line[0] == '@') {
+        pending_header_ = std::move(line);
+        have_pending_header_ = true;
+        break;
+      }
+    }
+  }
 }
 
 std::size_t FastqStream::next_chunk(std::vector<seq::Read>& out, std::size_t max_reads) {
@@ -64,17 +117,24 @@ std::size_t FastqStream::next_chunk(std::vector<seq::Read>& out, std::size_t max
 }
 
 PairedFastqStream::PairedFastqStream(const std::string& path1,
-                                     const std::string& path2)
-    : s1_(path1),
-      s2_(std::make_unique<FastqStream>(path2)),
+                                     const std::string& path2,
+                                     FastqPolicy policy)
+    : s1_(path1, policy),
+      s2_(std::make_unique<FastqStream>(path2, policy)),
       path1_(path1),
-      path2_(path2) {}
+      path2_(path2),
+      policy_(policy) {}
 
-PairedFastqStream::PairedFastqStream(const std::string& interleaved_path)
-    : s1_(interleaved_path), path1_(interleaved_path) {}
+PairedFastqStream::PairedFastqStream(const std::string& interleaved_path,
+                                     FastqPolicy policy)
+    : s1_(interleaved_path, policy), path1_(interleaved_path), policy_(policy) {}
 
 bool PairedFastqStream::next_pair(seq::Read& r1, seq::Read& r2) {
-  if (s2_) {
+  return s2_ ? next_pair_two_files(r1, r2) : next_pair_interleaved(r1, r2);
+}
+
+bool PairedFastqStream::next_pair_two_files(seq::Read& r1, seq::Read& r2) {
+  if (policy_ == FastqPolicy::kStrict) {
     const bool got1 = s1_.next_read(r1);
     const bool got2 = s2_->next_read(r2);
     if (got1 != got2)
@@ -82,14 +142,77 @@ bool PairedFastqStream::next_pair(seq::Read& r1, seq::Read& r2) {
                      "' has fewer reads than '" + (got1 ? path1_ : path2_) +
                      "' (the files must have the same read count)");
     if (!got1) return false;
-  } else {
+    ++pairs_parsed_;
+    return true;
+  }
+  // Skip policy: mates pair by record ordinal, so a skipped record on one
+  // side drops exactly its own pair instead of shifting every later mate.
+  std::uint64_t o1 = 0, o2 = 0;
+  bool got1 = s1_.next_read_ordinal(r1, &o1);
+  bool got2 = s2_->next_read_ordinal(r2, &o2);
+  while (got1 && got2 && o1 != o2) {
+    ++pairs_dropped_;  // the lagging side's mate was skipped
+    if (o1 < o2)
+      got1 = s1_.next_read_ordinal(r1, &o1);
+    else
+      got2 = s2_->next_read_ordinal(r2, &o2);
+  }
+  if (got1 && got2) {
+    ++pairs_parsed_;
+    return true;
+  }
+  // One side ended first (skipped tail records or unequal files): every
+  // remaining read on the longer side has lost its mate — drain so the
+  // dropped-pair count stays exact.
+  seq::Read rest;
+  std::uint64_t o = 0;
+  if (got1 || got2) ++pairs_dropped_;
+  FastqStream& longer = got1 ? s1_ : *s2_;
+  while ((got1 || got2) && longer.next_read_ordinal(rest, &o)) ++pairs_dropped_;
+  return false;
+}
+
+bool PairedFastqStream::next_pair_interleaved(seq::Read& r1, seq::Read& r2) {
+  if (policy_ == FastqPolicy::kStrict) {
     if (!s1_.next_read(r1)) return false;
     if (!s1_.next_read(r2))
       throw io_error("paired FASTQ: interleaved file '" + path1_ +
                      "' ends mid-pair (odd number of reads)");
+    ++pairs_parsed_;
+    return true;
   }
-  ++pairs_parsed_;
-  return true;
+  // Skip policy: even ordinals are R1 slots, odd are R2 slots; a pair is
+  // emitted only when both slots of the same pair survived.
+  seq::Read r;
+  std::uint64_t o = 0;
+  for (;;) {
+    if (!s1_.next_read_ordinal(r, &o)) {
+      if (have_pending_) {  // trailing R1 whose mate was lost
+        ++pairs_dropped_;
+        have_pending_ = false;
+      }
+      return false;
+    }
+    if (o % 2 == 0) {  // an R1 slot
+      if (have_pending_) ++pairs_dropped_;  // previous pair's R2 was skipped
+      pending_read_ = std::move(r);
+      pending_ordinal_ = o;
+      have_pending_ = true;
+    } else {  // an R2 slot
+      if (have_pending_ && pending_ordinal_ == o - 1) {
+        r1 = std::move(pending_read_);
+        r2 = std::move(r);
+        have_pending_ = false;
+        ++pairs_parsed_;
+        return true;
+      }
+      if (have_pending_) {  // pending R1 belongs to an earlier, broken pair
+        ++pairs_dropped_;
+        have_pending_ = false;
+      }
+      ++pairs_dropped_;  // this R2's own R1 was skipped
+    }
+  }
 }
 
 std::size_t PairedFastqStream::next_chunk(std::vector<seq::Read>& out,

@@ -5,6 +5,15 @@
 // need full materialization — pair it with Stream::submit() and resident
 // reads stay bounded by the pipeline's queue.  read_fastq() remains the
 // load-everything convenience, now a thin loop over FastqStream.
+//
+// Recovery policy: by default (kStrict) structural errors throw io_error.
+// With kSkip the stream instead resynchronizes at the next '@' header
+// line, counts the damaged record (records_skipped(), plus the
+// SwCounters::io_records_skipped thread-local counter) and keeps going —
+// one bad flow-cell record no longer kills a whole session.  Paired
+// streams align mates by their original record ordinal, so a skipped
+// record drops its whole pair (pairs_dropped()) instead of shifting every
+// later mate off by one.
 #pragma once
 
 #include <cstdint>
@@ -17,14 +26,22 @@
 
 namespace mem2::io {
 
-/// Incremental FASTQ parser.  Throws io_error on structural errors
-/// (missing '+', quality/sequence length mismatch, truncated record).
+/// What to do with a structurally damaged FASTQ record.
+enum class FastqPolicy {
+  kStrict,  // throw io_error (the historical behavior)
+  kSkip,    // resynchronize at the next '@' header and count the skip
+};
+
+/// Incremental FASTQ parser.  Under FastqPolicy::kStrict (default) throws
+/// io_error on structural errors (missing '+', quality/sequence length
+/// mismatch, truncated record); under kSkip recovers as documented above.
 class FastqStream {
  public:
   /// Stream from an existing istream (not owned; must outlive this).
-  explicit FastqStream(std::istream& in);
+  explicit FastqStream(std::istream& in, FastqPolicy policy = FastqPolicy::kStrict);
   /// Stream from a file; throws io_error if it cannot be opened.
-  explicit FastqStream(const std::string& path);
+  explicit FastqStream(const std::string& path,
+                       FastqPolicy policy = FastqPolicy::kStrict);
   ~FastqStream();
   FastqStream(FastqStream&&) noexcept;
   FastqStream& operator=(FastqStream&&) noexcept;
@@ -33,6 +50,11 @@ class FastqStream {
   /// at end of input.
   bool next_read(seq::Read& read);
 
+  /// Like next_read, additionally reporting the record's ordinal: its
+  /// 0-based position in the file counting skipped records, which is what
+  /// paired streams align mates by.
+  bool next_read_ordinal(seq::Read& read, std::uint64_t* ordinal);
+
   /// Clear `out` and refill it with up to max_reads records.  Returns the
   /// number parsed; 0 means end of input.
   std::size_t next_chunk(std::vector<seq::Read>& out, std::size_t max_reads);
@@ -40,27 +62,45 @@ class FastqStream {
   /// Total records parsed so far.
   std::uint64_t reads_parsed() const { return reads_parsed_; }
 
+  /// Damaged records skipped so far (always 0 under kStrict).
+  std::uint64_t records_skipped() const { return records_skipped_; }
+
+  FastqPolicy policy() const { return policy_; }
+
  private:
+  enum class Parse { kOk, kEof, kBad };
+  Parse try_parse(seq::Read& read);
+  bool next_header(std::string& header);
+
   std::unique_ptr<std::istream> owned_;  // set for the path constructor
   std::istream* in_;
+  FastqPolicy policy_;
   std::string header_, plus_;  // line buffers reused across records
+  std::string pending_header_;  // '@' line found while resynchronizing
+  bool have_pending_header_ = false;
+  std::string error_;  // last structural-error description (kBad)
   std::uint64_t reads_parsed_ = 0;
+  std::uint64_t records_skipped_ = 0;
 };
 
 /// Paired FASTQ input: two parallel files (R1 + R2) or one interleaved
 /// file.  Emits mates adjacent (R1, R2, R1, R2, ...), the layout the
-/// paired Aligner session expects.  Throws io_error with a clear message
-/// when the two files have different read counts (or an interleaved file
-/// ends mid-pair) instead of silently truncating to the shorter input.
+/// paired Aligner session expects.  Under kStrict, throws io_error with a
+/// clear message when the two files have different read counts (or an
+/// interleaved file ends mid-pair) instead of silently truncating to the
+/// shorter input.  Under kSkip, a damaged record drops its whole pair
+/// (mates re-align by record ordinal) and the stream keeps going.
 class PairedFastqStream {
  public:
   /// Two parallel files.
-  PairedFastqStream(const std::string& path1, const std::string& path2);
+  PairedFastqStream(const std::string& path1, const std::string& path2,
+                    FastqPolicy policy = FastqPolicy::kStrict);
   /// One interleaved file.
-  explicit PairedFastqStream(const std::string& interleaved_path);
+  explicit PairedFastqStream(const std::string& interleaved_path,
+                             FastqPolicy policy = FastqPolicy::kStrict);
 
-  /// Parse the next pair.  Returns false at end of input; throws io_error
-  /// if exactly one of the two streams is exhausted.
+  /// Parse the next pair.  Returns false at end of input; under kStrict
+  /// throws io_error if exactly one of the two streams is exhausted.
   bool next_pair(seq::Read& r1, seq::Read& r2);
 
   /// Clear `out` and refill with up to max_pairs pairs (2 * max_pairs
@@ -69,11 +109,28 @@ class PairedFastqStream {
 
   std::uint64_t pairs_parsed() const { return pairs_parsed_; }
 
+  /// Damaged records skipped across both underlying streams (kSkip only).
+  std::uint64_t records_skipped() const {
+    return s1_.records_skipped() + (s2_ ? s2_->records_skipped() : 0);
+  }
+
+  /// Pairs lost because a mate was damaged or unmatched (kSkip only).
+  std::uint64_t pairs_dropped() const { return pairs_dropped_; }
+
  private:
+  bool next_pair_two_files(seq::Read& r1, seq::Read& r2);
+  bool next_pair_interleaved(seq::Read& r1, seq::Read& r2);
+
   FastqStream s1_;
   std::unique_ptr<FastqStream> s2_;  // null for interleaved input
   std::string path1_, path2_;
+  FastqPolicy policy_;
   std::uint64_t pairs_parsed_ = 0;
+  std::uint64_t pairs_dropped_ = 0;
+  // kSkip scratch: a read pulled ahead while re-aligning ordinals.
+  seq::Read pending_read_;
+  std::uint64_t pending_ordinal_ = 0;
+  bool have_pending_ = false;
 };
 
 /// Parse all reads.  Throws io_error on structural errors (missing '+',

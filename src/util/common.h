@@ -31,6 +31,15 @@ class io_error : public std::runtime_error {
   explicit io_error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when persisted data (an index container) fails integrity
+/// validation — checksum mismatch, truncated section, out-of-range field.
+/// Distinct from io_error so callers can tell "re-run / check the path"
+/// apart from "re-index: the file is damaged".
+class corruption_error : public std::runtime_error {
+ public:
+  explicit corruption_error(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Thrown when an index / aligner invariant is violated.
 class invariant_error : public std::logic_error {
  public:

@@ -34,7 +34,8 @@ Isa parse_isa(const std::string& name) {
   if (s == "scalar") return Isa::kScalar;
   if (s == "avx2") return Isa::kAvx2;
   if (s == "avx512") return Isa::kAvx512;
-  throw std::invalid_argument("unknown ISA name: " + name);
+  throw std::invalid_argument("unknown ISA name: " + name +
+                              " (expected scalar, avx2, or avx512)");
 }
 
 namespace {

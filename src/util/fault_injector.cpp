@@ -1,0 +1,52 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+
+namespace mem2::util {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* inst = [] {
+    static FaultInjector fi;
+    if (const char* env = std::getenv("MEM2_FAULT")) fi.arm(env);
+    return &fi;
+  }();
+  return *inst;
+}
+
+bool FaultInjector::arm(const std::string& spec) {
+  disarm();
+  if (spec.empty()) return true;
+  std::string site = spec;
+  std::uint64_t nth = 1;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    site = spec.substr(0, colon);
+    const std::string count = spec.substr(colon + 1);
+    if (count.empty()) return false;
+    nth = 0;
+    for (char c : count) {
+      if (c < '0' || c > '9') return false;
+      nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (nth == 0) return false;  // fault points count from 1
+  }
+  if (site.empty()) return false;
+  site_ = std::move(site);
+  nth_ = nth;
+  hits_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+  return true;
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_release);
+  site_.clear();
+  nth_ = 1;
+  hits_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::fire(std::string_view site) {
+  if (site != site_) return false;
+  return hits_.fetch_add(1, std::memory_order_relaxed) + 1 == nth_;
+}
+
+}  // namespace mem2::util

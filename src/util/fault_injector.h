@@ -1,0 +1,67 @@
+// Deterministic fault injection for exercising failure paths.
+//
+// One process-global injector is armed with "site[:nth]" — from the
+// MEM2_FAULT environment variable at first use, or programmatically (tests,
+// mem2_cli --fault).  The nth time (1-based, default 1) execution passes
+// the named fault point it fires exactly once; every other pass, and every
+// pass when disarmed, is a no-op.  The disarmed fast path is a single
+// relaxed atomic load, so golden-SAM and determinism tests stay
+// byte-identical with the injector compiled in.
+//
+// Fault points fire by returning true from fault_point(site); the call
+// site then throws its *natural* error type, so an injected fault walks
+// the exact same propagation path a real failure would:
+//
+//   site          where                              raises
+//   index.load    index_io.cpp load_index()          corruption_error
+//   fastq.read    io/fastq.cpp FastqStream           io_error
+//   sam.write     align/sam_sink.h OstreamSamSink    io_error (bad stream)
+//   align.worker  align/aligner.cpp worker_main      invariant_error
+//   align.batch   align/pipeline_batch.cpp region    invariant_error
+//                 replay loop (inside an OpenMP worker)
+//
+// Arming is not thread-safe against in-flight fault points; arm/disarm
+// while the pipeline is quiescent (tests do).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mem2::util {
+
+class FaultInjector {
+ public:
+  /// The process-global injector; arms itself from MEM2_FAULT on first use.
+  static FaultInjector& instance();
+
+  /// Arm from "site[:nth]"; an empty spec disarms.  Returns false (and
+  /// leaves the injector disarmed) on a malformed spec (empty site,
+  /// non-numeric or zero nth).
+  bool arm(const std::string& spec);
+  void disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  const std::string& site() const { return site_; }
+
+  /// True exactly once: the nth time the armed site passes this point.
+  bool fire(std::string_view site);
+
+ private:
+  FaultInjector() = default;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> hits_{0};
+  std::uint64_t nth_ = 1;
+  std::string site_;
+};
+
+/// Call-site helper: true when the process-global injector is armed at
+/// `site` and this pass is the chosen one.  The caller throws its natural
+/// error type ("injected fault: <site>") so tests drive the real path.
+inline bool fault_point(std::string_view site) {
+  FaultInjector& fi = FaultInjector::instance();
+  return fi.armed() && fi.fire(site);
+}
+
+}  // namespace mem2::util

@@ -1,0 +1,47 @@
+// Exception transport across OpenMP parallel regions.
+//
+// An exception escaping a thread inside an OpenMP worksharing construct
+// calls std::terminate — there is no implicit propagation to the master
+// thread.  OmpExceptionGuard makes batch-level error handling possible:
+// wrap each loop body in run(), which captures the first exception thrown
+// on any thread and turns the remaining iterations into cheap no-ops, then
+// call rethrow() on the master thread after the region joins to resume
+// normal C++ propagation (up to the session worker's Status boundary).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace mem2::util {
+
+class OmpExceptionGuard {
+ public:
+  /// Runs f() unless a previous iteration already failed.  Never throws;
+  /// the first exception (across all threads) is stashed for rethrow().
+  template <class F>
+  void run(F&& f) noexcept {
+    if (failed_.load(std::memory_order_relaxed)) return;
+    try {
+      std::forward<F>(f)();
+    } catch (...) {
+      if (!failed_.exchange(true, std::memory_order_acq_rel))
+        eptr_ = std::current_exception();
+    }
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Call after the parallel region has joined (the implicit barrier
+  /// orders the capturing thread's eptr_ write before this read).
+  void rethrow() {
+    if (failed_.load(std::memory_order_acquire) && eptr_)
+      std::rethrow_exception(std::exchange(eptr_, nullptr));
+  }
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::exception_ptr eptr_;
+};
+
+}  // namespace mem2::util

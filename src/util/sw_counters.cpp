@@ -17,6 +17,7 @@ SwCounters& SwCounters::operator+=(const SwCounters& o) {
   bsw_cells_total += o.bsw_cells_total;
   bsw_cells_useful += o.bsw_cells_useful;
   bsw_aborted_pairs += o.bsw_aborted_pairs;
+  io_records_skipped += o.io_records_skipped;
   pe_rescue_windows += o.pe_rescue_windows;
   pe_rescue_win_skipped += o.pe_rescue_win_skipped;
   pe_rescue_win_deduped += o.pe_rescue_win_deduped;
@@ -41,6 +42,7 @@ std::string SwCounters::summary() const {
      << " bsw_cells_total=" << bsw_cells_total
      << " bsw_cells_useful=" << bsw_cells_useful
      << " bsw_aborts=" << bsw_aborted_pairs
+     << " io_records_skipped=" << io_records_skipped
      << " pe_rescue_windows=" << pe_rescue_windows
      << " pe_rescue_win_skipped=" << pe_rescue_win_skipped
      << " pe_rescue_win_deduped=" << pe_rescue_win_deduped

@@ -33,6 +33,9 @@ struct SwCounters {
   std::uint64_t bsw_cells_useful = 0;   // cells inside a live pair's band
   std::uint64_t bsw_aborted_pairs = 0;  // z-drop / zero-row early exits
 
+  // Ingest (io::FastqStream under FastqPolicy::kSkip)
+  std::uint64_t io_records_skipped = 0;  // damaged FASTQ records resync-skipped
+
   // Paired-end stage (mate rescue + pair scoring)
   std::uint64_t pe_rescue_windows = 0;  // rescue windows anchor-scanned
   std::uint64_t pe_rescue_win_skipped = 0;  // skipped: earlier window already satisfied the (mate, orientation)

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "index/mem2_index.h"
@@ -76,6 +77,80 @@ TEST(Fastq, RejectsMalformedRecords) {
   {
     std::istringstream in("@r1\nACGT\n+\n");  // truncated
     EXPECT_THROW(read_fastq(in), io_error);
+  }
+}
+
+// The malformed-record corpus: each entry is a damaged stream holding (at
+// most) the good reads r_good.  Strict mode must throw on the first damaged
+// record; skip mode must recover exactly the good ones and count the rest.
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  std::vector<std::string> good;   // names recovered under kSkip
+  std::uint64_t skipped;           // records_skipped under kSkip
+};
+
+const std::vector<MalformedCase>& malformed_corpus() {
+  static const std::vector<MalformedCase> cases = {
+      {"truncated mid-record (no quality)",
+       "@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\n", {"r1"}, 1},
+      // The damaged record swallows @r2 as its '+' line, so r2's remains
+      // are part of the skip; resync lands on @r3.
+      {"truncated record swallows the next header",
+       "@r1\nACGT\n@r2\nTTTT\n+\nIIII\n@r3\nGGGG\n+\nIIII\n", {"r3"}, 1},
+      {"missing '+' line",
+       "@r1\nACGT\nIIII\n@r2\nTTTT\n+\nIIII\n", {"r2"}, 1},
+      {"quality/sequence length mismatch",
+       "@r1\nACGT\n+\nIII\n@r2\nTTTT\n+\nIIII\n", {"r2"}, 1},
+      {"garbage before first header",
+       "not fastq\nat all\n@r1\nACGT\n+\nIIII\n", {"r1"}, 1},
+      {"two damaged records in a row",
+       "@r1\nACGT\n+\nIII\n@r2\nTT\nII\n@r3\nGGGG\n+\nIIII\n", {"r3"}, 2},
+      {"empty read name", "@\nACGT\n+\nIIII\n@r2\nTTTT\n+\nIIII\n", {"r2"}, 1},
+  };
+  return cases;
+}
+
+TEST(Fastq, MalformedCorpusStrictThrows) {
+  for (const auto& c : malformed_corpus()) {
+    std::istringstream in(c.text);
+    EXPECT_THROW(read_fastq(in), io_error) << c.label;
+  }
+}
+
+TEST(Fastq, MalformedCorpusSkipRecoversGoodReads) {
+  for (const auto& c : malformed_corpus()) {
+    std::istringstream in(c.text);
+    FastqStream stream(in, FastqPolicy::kSkip);
+    std::vector<std::string> names;
+    seq::Read r;
+    while (stream.next_read(r)) names.push_back(r.name);
+    EXPECT_EQ(names, c.good) << c.label;
+    EXPECT_EQ(stream.records_skipped(), c.skipped) << c.label;
+    EXPECT_EQ(stream.reads_parsed(), c.good.size()) << c.label;
+  }
+}
+
+TEST(Fastq, CrLfAndEmptyInputsAreCleanInBothPolicies) {
+  for (const FastqPolicy policy : {FastqPolicy::kStrict, FastqPolicy::kSkip}) {
+    {
+      std::istringstream in("@r1\r\nACGT\r\n+\r\nIIII\r\n");
+      FastqStream stream(in, policy);
+      seq::Read r;
+      ASSERT_TRUE(stream.next_read(r));
+      EXPECT_EQ(r.bases, "ACGT");
+      EXPECT_EQ(r.qual, "IIII");
+      EXPECT_FALSE(stream.next_read(r));
+      EXPECT_EQ(stream.records_skipped(), 0u);
+    }
+    {
+      std::istringstream in("");  // empty file: EOF, not an error
+      FastqStream stream(in, policy);
+      seq::Read r;
+      EXPECT_FALSE(stream.next_read(r));
+      EXPECT_EQ(stream.reads_parsed(), 0u);
+      EXPECT_EQ(stream.records_skipped(), 0u);
+    }
   }
 }
 
@@ -153,6 +228,83 @@ TEST(PairedFastq, RejectsMismatchedReadCounts) {
 
   std::remove(p1.c_str());
   std::remove(p2.c_str());
+  std::remove(pil.c_str());
+}
+
+namespace {
+
+std::string write_temp_text(const std::string& name, const std::string& text) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+}  // namespace
+
+TEST(PairedFastq, SkipPolicyDropsExactlyTheDamagedPair) {
+  // R2's record b is damaged; ordinal re-alignment must drop only pair b —
+  // pairs c and d keep their own mates (no off-by-one shift).
+  const auto p1 = write_temp_fastq(
+      "mem2_pe_skip_r1.fq", {make_read("a", "ACGT"), make_read("b", "GGTT"),
+                             make_read("c", "CCCC"), make_read("d", "AAAA")});
+  const auto p2 = write_temp_text("mem2_pe_skip_r2.fq",
+                                  "@a\nTTAA\n+\nIIII\n"
+                                  "@b\nCCAA\n+\nIII\n"  // length mismatch
+                                  "@c\nGGGG\n+\nIIII\n"
+                                  "@d\nAACC\n+\nIIII\n");
+  PairedFastqStream stream(p1, p2, FastqPolicy::kSkip);
+  seq::Read r1, r2;
+  std::vector<std::string> pairs;
+  while (stream.next_pair(r1, r2)) {
+    EXPECT_EQ(r1.name, r2.name);  // mates stayed aligned
+    pairs.push_back(r1.name);
+  }
+  EXPECT_EQ(pairs, (std::vector<std::string>{"a", "c", "d"}));
+  EXPECT_EQ(stream.records_skipped(), 1u);
+  EXPECT_EQ(stream.pairs_dropped(), 1u);
+  EXPECT_EQ(stream.pairs_parsed(), 3u);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(PairedFastq, SkipPolicyDrainsWhenOneSideEndsShort) {
+  const auto p1 = write_temp_fastq(
+      "mem2_pe_tail_r1.fq", {make_read("a", "ACGT"), make_read("b", "GGTT")});
+  const auto p2 = write_temp_text("mem2_pe_tail_r2.fq",
+                                  "@a\nTTAA\n+\nIIII\n"
+                                  "@b\nCCAA\n+\n");  // truncated final record
+  PairedFastqStream stream(p1, p2, FastqPolicy::kSkip);
+  seq::Read r1, r2;
+  ASSERT_TRUE(stream.next_pair(r1, r2));
+  EXPECT_EQ(r1.name, "a");
+  EXPECT_FALSE(stream.next_pair(r1, r2));  // no throw, unlike kStrict
+  EXPECT_EQ(stream.records_skipped(), 1u);
+  EXPECT_EQ(stream.pairs_dropped(), 1u);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(PairedFastq, SkipPolicyInterleavedKeepsSlotParity) {
+  // Interleaved layout: a damaged R2 slot drops its pair; the following
+  // pair's R1/R2 slots re-pair by ordinal parity.
+  const auto pil = write_temp_text("mem2_pe_skip_il.fq",
+                                   "@a1\nACGT\n+\nIIII\n"
+                                   "@a2\nTTAA\n+\nIIII\n"
+                                   "@b1\nGGTT\n+\nIIII\n"
+                                   "@b2\nCCAA\nIIII\n"  // missing '+'
+                                   "@c1\nCCCC\n+\nIIII\n"
+                                   "@c2\nGGGG\n+\nIIII\n");
+  PairedFastqStream stream(pil, FastqPolicy::kSkip);
+  seq::Read r1, r2;
+  std::vector<std::string> pairs;
+  while (stream.next_pair(r1, r2)) pairs.push_back(r1.name + "/" + r2.name);
+  EXPECT_EQ(pairs, (std::vector<std::string>{"a1/a2", "c1/c2"}));
+  EXPECT_EQ(stream.records_skipped(), 1u);
+  EXPECT_EQ(stream.pairs_dropped(), 1u);
+  EXPECT_EQ(stream.pairs_parsed(), 2u);
   std::remove(pil.c_str());
 }
 
