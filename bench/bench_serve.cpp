@@ -1,0 +1,237 @@
+// Multi-stream service bench: N concurrent mixed SE/PE client sessions over
+// one shared index and one global worker pool (serve::AlignService) vs the
+// same N sessions run solo back-to-back at equal total thread count.
+//
+// Reports aggregate throughput ratio (acceptance: >= 0.9x of the sequential
+// solo runs), per-stream batch-latency p50/p99, queue-depth high-water
+// marks and the fairness spread (slowest / fastest client wall time), and
+// writes BENCH_serve.json.  Every stream's SAM must be byte-identical to
+// its solo run — a mismatch is a hard failure in any mode.  --smoke caps
+// the workload for CI and relaxes the throughput gate (shared runners).
+#include <cstring>
+#include <thread>
+
+#include "align/aligner.h"
+#include "bench_common.h"
+#include "serve/align_service.h"
+
+using namespace mem2;
+
+namespace {
+
+struct ClientSpec {
+  std::string name;
+  bool paired = false;
+  std::vector<seq::Read> reads;
+};
+
+struct ClientResult {
+  double solo_seconds = 0;
+  double client_seconds = 0;  // wall inside the service run
+  align::StreamMetrics metrics;
+  std::vector<std::string> solo_sam, serve_sam;
+};
+
+std::vector<std::string> sam_lines(const align::CollectSamSink& sink) {
+  std::vector<std::string> lines;
+  lines.reserve(sink.records().size());
+  for (const auto& rec : sink.records()) lines.push_back(rec.to_line());
+  return lines;
+}
+
+align::DriverOptions client_options(const ClientSpec& spec, int threads) {
+  align::DriverOptions opt;
+  opt.mode = align::Mode::kBatch;
+  opt.paired = spec.paired;
+  opt.batch_size = 128;  // small batches: the queues and scheduler stay busy
+  opt.threads = threads;
+  return opt;
+}
+
+/// Submit in modest chunks so back-pressure and the round-robin scheduler
+/// are actually exercised (a single submit would enqueue everything at once
+/// behind queue_depth batches).
+align::Status drive(const ClientSpec& spec, auto& stream) {
+  const std::size_t chunk = 256;
+  std::span<const seq::Read> all(spec.reads);
+  for (std::size_t at = 0; at < all.size(); at += chunk) {
+    const auto n = std::min(chunk, all.size() - at);
+    if (auto st = stream.submit(all.subspan(at, n)); !st.ok()) return st;
+  }
+  return stream.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+
+  const auto index = bench::bench_index();
+  const double scale = smoke ? 0.25 : bench::bench_scale();
+  const int workers =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  const int n_streams = 8;
+
+  // Mixed fleet: three SE clients then one PE client, repeating, each with
+  // its own deterministic read set.
+  std::vector<ClientSpec> specs;
+  for (int s = 0; s < n_streams; ++s) {
+    ClientSpec spec;
+    spec.paired = (s % 4 == 3);
+    spec.name = (spec.paired ? "pe" : "se") + std::to_string(s);
+    if (spec.paired) {
+      seq::PairSimConfig cfg;
+      cfg.seed = 9100u + static_cast<unsigned>(s);
+      cfg.read_length = 101;
+      cfg.num_pairs = std::max<std::int64_t>(200, static_cast<std::int64_t>(2000 * scale));
+      cfg.insert_mean = 420;
+      cfg.insert_std = 45;
+      cfg.substitution_rate = 0.012;
+      spec.reads = seq::simulate_pairs(index.ref(), cfg);
+    } else {
+      seq::ReadSimConfig cfg;
+      cfg.seed = 9000u + static_cast<unsigned>(s);
+      cfg.read_length = 101;
+      cfg.num_reads = std::max<std::int64_t>(400, static_cast<std::int64_t>(4000 * scale));
+      cfg.name_prefix = spec.name;
+      cfg.substitution_rate = 0.012;
+      spec.reads = seq::simulate_reads(index.ref(), cfg);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<ClientResult> results(specs.size());
+  std::uint64_t reads_total = 0;
+  for (const auto& s : specs) reads_total += s.reads.size();
+
+  // --- Solo baseline: each session back-to-back with all `workers`
+  // threads to itself (equal total thread count to the service run). ---
+  double solo_total = 0;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const align::Aligner aligner(index, client_options(specs[s], workers));
+    align::CollectSamSink sink;
+    util::Timer t;
+    align::Stream stream = aligner.open(sink);
+    bench::require_ok(drive(specs[s], stream));
+    results[s].solo_seconds = t.seconds();
+    solo_total += results[s].solo_seconds;
+    results[s].solo_sam = sam_lines(sink);
+  }
+
+  // --- Service run: all sessions concurrent over one pool of `workers`. ---
+  serve::ServeOptions sopt;
+  sopt.workers = workers;
+  sopt.max_streams = n_streams;
+  sopt.max_inflight_batches = 8 * n_streams;
+  serve::AlignService service(index, sopt);
+  bench::require_ok(service.status());
+
+  std::vector<align::CollectSamSink> sinks(specs.size());
+  std::vector<serve::ServiceStream> streams;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    streams.push_back(service.open(client_options(specs[s], 1), sinks[s]));
+    bench::require_ok(streams.back().status());
+  }
+
+  util::Timer service_timer;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s)
+      clients.emplace_back([&, s] {
+        util::Timer t;
+        bench::require_ok(drive(specs[s], streams[s]));
+        results[s].client_seconds = t.seconds();
+      });
+    for (auto& c : clients) c.join();
+  }
+  const double service_wall = service_timer.seconds();
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    results[s].metrics = streams[s].metrics();
+    results[s].serve_sam = sam_lines(sinks[s]);
+  }
+  const auto sm = service.metrics();
+
+  // --- Verdicts ---
+  bool identical = true;
+  for (std::size_t s = 0; s < specs.size(); ++s)
+    if (results[s].serve_sam != results[s].solo_sam) {
+      std::printf("ERROR: stream %s SAM differs from its solo run!\n",
+                  specs[s].name.c_str());
+      identical = false;
+    }
+  const double ratio = service_wall > 0 ? solo_total / service_wall : 0;
+  double fastest = 1e300, slowest = 0;
+  for (const auto& r : results) {
+    fastest = std::min(fastest, r.client_seconds);
+    slowest = std::max(slowest, r.client_seconds);
+  }
+  const double spread = fastest > 0 ? slowest / fastest : 0;
+
+  bench::print_header("Multi-stream service: " + std::to_string(n_streams) +
+                      " clients over " + std::to_string(workers) +
+                      " pooled workers");
+  bench::print_row("Stream", {"reads", "solo (s)", "serve (s)", "p50 (ms)",
+                              "p99 (ms)", "q hwm"});
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const auto& r = results[s];
+    bench::print_row(specs[s].name.c_str(),
+                     {bench::fmt_int(specs[s].reads.size()),
+                      bench::fmt(r.solo_seconds, 2),
+                      bench::fmt(r.client_seconds, 2),
+                      bench::fmt(1e3 * r.metrics.p50(), 1),
+                      bench::fmt(1e3 * r.metrics.p99(), 1),
+                      bench::fmt_int(r.metrics.queue_hwm)});
+  }
+  std::printf(
+      "\n  solo total %.2fs, service wall %.2fs -> aggregate throughput "
+      "%.2fx (gate %s0.90), fairness spread %.2fx, %s\n",
+      solo_total, service_wall, ratio, smoke ? "[smoke, advisory] " : ">= ",
+      spread, sm.summary().c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"streams\": %d,\n  \"workers\": %d,\n", n_streams,
+                 workers);
+    std::fprintf(f, "  \"reads_total\": %llu,\n",
+                 static_cast<unsigned long long>(reads_total));
+    std::fprintf(f,
+                 "  \"solo_seconds_total\": %.6f,\n  \"service_wall_seconds\": "
+                 "%.6f,\n  \"aggregate_throughput_ratio\": %.4f,\n",
+                 solo_total, service_wall, ratio);
+    std::fprintf(f, "  \"service_reads_per_sec\": %.1f,\n",
+                 service_wall > 0 ? static_cast<double>(reads_total) / service_wall : 0);
+    std::fprintf(f, "  \"fairness_spread\": %.4f,\n", spread);
+    std::fprintf(f, "  \"outputs_identical_to_solo\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"per_stream\": [\n");
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const auto& r = results[s];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"paired\": %s, \"reads\": %zu, "
+                   "\"solo_seconds\": %.6f, \"client_seconds\": %.6f, "
+                   "\"p50_batch_seconds\": %.6f, \"p99_batch_seconds\": %.6f, "
+                   "\"queue_hwm\": %zu}%s\n",
+                   specs[s].name.c_str(), specs[s].paired ? "true" : "false",
+                   specs[s].reads.size(), r.solo_seconds, r.client_seconds,
+                   r.metrics.p50(), r.metrics.p99(), r.metrics.queue_hwm,
+                   s + 1 < specs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serve.json\n");
+  }
+
+  if (!identical) return 1;
+  if (!smoke && ratio < 0.9) {
+    std::printf("ERROR: aggregate throughput %.2fx below the 0.9x gate\n", ratio);
+    return 1;
+  }
+  if (smoke && ratio < 0.9)
+    std::printf("WARNING: aggregate throughput %.2fx below 0.9x (smoke mode: "
+                "advisory only)\n", ratio);
+  return 0;
+}

@@ -8,15 +8,20 @@
 // `mem` streams: reads are pulled from the FASTQ in batch-size chunks and
 // fed to an Aligner session, so peak resident reads/records are bounded by
 // the session's queue — the input file never needs to fit in memory.
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <thread>
 
 #include "align/aligner.h"
 #include "align/status.h"
+#include "serve/align_service.h"
 #include "io/fasta.h"
 #include "io/fastq.h"
 #include "seq/genome_sim.h"
@@ -46,12 +51,25 @@ int usage() {
       "                        resync at the next '@' header and report counts\n"
       "      --fault site[:nth]\n"
       "                        arm the fault injector (testing; also MEM2_FAULT)\n"
+      "  mem2_cli serve [options] <index.m2i> <stream>...\n"
+      "      each <stream> is out.sam=reads.fq[,mates.fq][,skip] — one\n"
+      "      client session per spec, all multiplexed over one index and\n"
+      "      one shared worker pool (two FASTQs imply paired mode; a\n"
+      "      trailing ,skip selects the resync ingest policy)\n"
+      "      -w N              pooled worker threads (default: all cores)\n"
+      "      -b N              reads per batch (default 512)\n"
+      "      --max-streams N   admission: max concurrent sessions (default 8)\n"
+      "      --max-inflight N  admission: global in-flight batch budget\n"
+      "                        (default 64)\n"
+      "      --metrics-interval S\n"
+      "                        print a service metrics snapshot to stderr\n"
+      "                        every S seconds (default: off)\n"
       "  mem2_cli simulate <out.fasta> <length> [seed]\n"
       "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n"
       "  mem2_cli wgsim-pe <ref.fasta> <out1.fastq> <out2.fastq> <n_pairs>"
       " <read_len> [insert_mean] [insert_std] [seed]\n"
       "exit codes: 2 usage/invalid argument, 3 I/O error, 4 data corruption,"
-      " 5 internal error\n";
+      " 5 internal error, 6 resource exhausted (admission denied)\n";
   return 2;
 }
 
@@ -63,6 +81,7 @@ int exit_code(align::ErrorCode code) {
     case align::ErrorCode::kIoError: return 3;
     case align::ErrorCode::kDataCorruption: return 4;
     case align::ErrorCode::kInternal: return 5;
+    case align::ErrorCode::kResourceExhausted: return 6;
   }
   return 5;
 }
@@ -237,6 +256,189 @@ int cmd_mem(int argc, char** argv) {
   return 0;
 }
 
+/// One `out.sam=reads.fq[,mates.fq][,skip]` client spec.
+struct StreamSpec {
+  std::string out;
+  std::string fq1, fq2;  // fq2 empty for single-end
+  io::FastqPolicy ingest = io::FastqPolicy::kStrict;
+};
+
+bool parse_stream_spec(const std::string& arg, StreamSpec& spec) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) return false;
+  spec.out = arg.substr(0, eq);
+  std::vector<std::string> parts;
+  for (std::size_t pos = eq + 1; pos <= arg.size();) {
+    const auto comma = arg.find(',', pos);
+    const auto end = comma == std::string::npos ? arg.size() : comma;
+    parts.push_back(arg.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (!parts.empty() && parts.back() == "skip") {
+    spec.ingest = io::FastqPolicy::kSkip;
+    parts.pop_back();
+  }
+  if (parts.empty() || parts.size() > 2 || parts[0].empty()) return false;
+  spec.fq1 = parts[0];
+  if (parts.size() == 2) {
+    if (parts[1].empty()) return false;
+    spec.fq2 = parts[1];
+  }
+  return true;
+}
+
+/// Drive one client session: stream the FASTQ(s) through the service in
+/// batch-size chunks, then finish.  Runs on its own thread.
+align::Status run_client(serve::ServiceStream& stream, const StreamSpec& spec,
+                         const align::DriverOptions& opt) {
+  align::Status st;
+  const auto submit = [&](std::vector<seq::Read>&& chunk) {
+    st = stream.submit(std::move(chunk));
+    return st.ok();
+  };
+  try {
+    std::vector<seq::Read> chunk;
+    if (!spec.fq2.empty()) {
+      io::PairedFastqStream paired(spec.fq1, spec.fq2, spec.ingest);
+      const auto per_chunk = static_cast<std::size_t>(opt.batch_size) / 2;
+      while (paired.next_chunk(chunk, per_chunk) > 0) {
+        if (!submit(std::move(chunk))) return st;
+        chunk = {};
+      }
+    } else {
+      io::FastqStream fastq(spec.fq1, spec.ingest);
+      while (fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
+        if (!submit(std::move(chunk))) return st;
+        chunk = {};
+      }
+    }
+  } catch (const std::exception& e) {
+    // Ingest failure (unreadable/damaged FASTQ under strict policy): this
+    // client dies; the service and its siblings are untouched.
+    stream.finish();
+    return align::Status::from_exception(e).with_context("ingest");
+  }
+  return stream.finish();
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServeOptions sopt;
+  int batch_size = 512;
+  long long metrics_interval = 0;
+  long long v = 0;
+  int i = 0;
+  for (; i < argc && argv[i][0] == '-'; ++i) {
+    if (!std::strcmp(argv[i], "-w") && i + 1 < argc) {
+      if (!parse_arg("-w", argv[++i], 0, INT_MAX, v)) return usage();
+      sopt.workers = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "-b") && i + 1 < argc) {
+      if (!parse_arg("-b", argv[++i], 1, INT_MAX, v)) return usage();
+      batch_size = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--max-streams") && i + 1 < argc) {
+      if (!parse_arg("--max-streams", argv[++i], 1, INT_MAX, v)) return usage();
+      sopt.max_streams = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--max-inflight") && i + 1 < argc) {
+      if (!parse_arg("--max-inflight", argv[++i], 1, INT_MAX, v)) return usage();
+      sopt.max_inflight_batches = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--metrics-interval") && i + 1 < argc) {
+      if (!parse_arg("--metrics-interval", argv[++i], 1, 3600, v))
+        return usage();
+      metrics_interval = v;
+    } else {
+      std::cerr << "mem2_cli: unknown option " << argv[i] << '\n';
+      return usage();
+    }
+  }
+  if (argc - i < 2) return usage();
+  std::vector<StreamSpec> specs;
+  for (int s = i + 1; s < argc; ++s) {
+    StreamSpec spec;
+    if (!parse_stream_spec(argv[s], spec)) {
+      std::cerr << "mem2_cli: bad stream spec '" << argv[s]
+                << "' (expected out.sam=reads.fq[,mates.fq][,skip])\n";
+      return usage();
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  std::cerr << "[mem2] loading index " << argv[i] << "...\n";
+  const auto index = index::load_index(argv[i]);
+  serve::AlignService service(index, sopt);
+  if (!service.ok()) return fail(service.status());
+  std::cerr << "[mem2] serving " << specs.size() << " stream(s), "
+            << (sopt.workers ? std::to_string(sopt.workers) : "auto")
+            << " pooled worker(s), max " << sopt.max_streams << " streams / "
+            << sopt.max_inflight_batches << " in-flight batches\n";
+
+  // Open every client up front — admission failures surface before any
+  // alignment work starts, with the documented exit code.
+  std::vector<std::ofstream> outs;
+  outs.reserve(specs.size());  // sinks hold references: no reallocation
+  std::vector<std::unique_ptr<align::OstreamSamSink>> sinks;
+  std::vector<serve::ServiceStream> streams;
+  std::vector<align::DriverOptions> opts;
+  for (const StreamSpec& spec : specs) {
+    align::DriverOptions opt;
+    opt.batch_size = batch_size;
+    opt.paired = !spec.fq2.empty();
+    if (opt.paired && opt.batch_size % 2 != 0) ++opt.batch_size;
+    outs.emplace_back(spec.out, std::ios::binary);
+    if (!outs.back())
+      return fail(align::Status::io("cannot open output file: " + spec.out));
+    sinks.push_back(std::make_unique<align::OstreamSamSink>(outs.back()));
+    serve::ServiceStream stream = service.open(opt, *sinks.back());
+    if (!stream.ok()) {
+      std::cerr << "mem2: stream '" << spec.out << "': ";
+      return fail(stream.status());
+    }
+    streams.push_back(std::move(stream));
+    opts.push_back(opt);
+  }
+
+  util::Timer t;
+  std::atomic<bool> done{false};
+  std::thread reporter;
+  if (metrics_interval > 0) {
+    reporter = std::thread([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::seconds(metrics_interval));
+        if (done.load(std::memory_order_acquire)) break;
+        std::cerr << "[mem2] " << service.metrics().summary() << '\n';
+      }
+    });
+  }
+
+  std::vector<align::Status> results(specs.size());
+  std::vector<std::thread> clients;
+  clients.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s)
+    clients.emplace_back([&, s] {
+      results[s] = run_client(streams[s], specs[s], opts[s]);
+    });
+  for (auto& c : clients) c.join();
+  done.store(true, std::memory_order_release);
+  if (reporter.joinable()) reporter.join();
+
+  align::Status first_error;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const auto& st = results[s];
+    if (st.ok()) {
+      std::cerr << "[mem2] stream '" << specs[s].out << "': "
+                << streams[s].stats().reads << " reads -> "
+                << streams[s].metrics().records << " records (queue hwm "
+                << streams[s].metrics().queue_hwm << ")\n";
+    } else {
+      std::cerr << "[mem2] stream '" << specs[s].out
+                << "' failed: " << st.to_string() << '\n';
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  std::cerr << "[mem2] " << service.metrics().summary() << " | wall "
+            << t.seconds() << "s\n";
+  if (!first_error.ok()) return exit_code(first_error.code());
+  return 0;
+}
+
 int cmd_simulate(int argc, char** argv) {
   if (argc < 2) return usage();
   long long v = 0;
@@ -320,6 +522,7 @@ int main(int argc, char** argv) {
     util::dispatch_isa();
     if (cmd == "index") return cmd_index(argc - 2, argv + 2);
     if (cmd == "mem") return cmd_mem(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "wgsim") return cmd_wgsim(argc - 2, argv + 2);
     if (cmd == "wgsim-pe") return cmd_wgsim_pe(argc - 2, argv + 2);

@@ -1,260 +1,45 @@
-// Streaming session implementation: bounded batch queue with back-pressure,
-// worker pool over persistent BatchWorkspaces, ordered reassembly writer.
-//
-// Concurrency design:
-//   - submit() (producer thread) carves reads into batch_size batches and
-//     enqueues them; the queue holds at most queue_depth batches, so the
-//     producer blocks instead of buffering unbounded input.
-//   - Each worker pops one batch, runs the whole batched pipeline on it via
-//     align_chunk() with its own BatchWorkspace (allocation-free in steady
-//     state), then inserts the flattened records into a reorder buffer
-//     keyed by batch sequence number.  Whichever worker completes the
-//     next-in-order batch drains the buffer to the sink under emit_mu_, so
-//     records always reach the sink in read order and the buffer never
-//     holds more than (queue_depth + workers) batches.
-//   - Errors are sticky: the first failure is recorded — as a Status
-//     carrying the ErrorCode, failing stage and the first read of the
-//     failing batch — wakes any blocked producer, and suppresses all
-//     further sink writes; submit()/finish() report it fast.  Workers keep
-//     draining the queue after a failure so back-pressure never deadlocks,
-//     and because the ordered writer stops at the first missing batch the
-//     sink is always left at a batch boundary (no torn records).  A failed
-//     Stream stays safe to call (submit/finish return the sticky error)
-//     and the Aligner can open() a fresh Stream immediately — failure is
-//     per-session, not per-process.
+// Streaming session front door: a dedicated worker pool per Stream over a
+// shared SessionCore (session.h), which owns the bounded batch queue,
+// back-pressure, paired calibration, ordered reassembly and the sticky
+// Status.  serve::AlignService drives the same core from a global pool —
+// the concurrency design lives in session.cpp; this file only supplies the
+// threads and the public Stream/Aligner surface.
 //
 // Output is byte-identical to the one-shot path because batch results are
 // independent of chunking (batch-size and thread-count invariance of the
 // drivers, enforced by tests/test_pipeline.cpp).
 #include "align/aligner.h"
 
-#include "pair/pairing.h"
-
-#include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <exception>
-#include <map>
-#include <mutex>
+#include <memory>
 #include <thread>
 
-#include "util/common.h"
-#include "util/fault_injector.h"
+#include "align/session.h"
 
 namespace mem2::align {
 
-namespace {
-
-struct WorkItem {
-  std::uint64_t seq = 0;
-  std::vector<seq::Read> owned;        // empty for borrowed (zero-copy) batches
-  std::span<const seq::Read> reads;    // the batch to align; views `owned`
-                                       // or caller memory (span submit)
-};
-
-}  // namespace
-
 struct Stream::Impl {
-  Impl(const index::Mem2Index& index, const DriverOptions& options, SamSink& sink)
-      : index(index), options(options), sink(sink) {}
+  Impl(const index::Mem2Index& index, const DriverOptions& options,
+       SamSink& sink, int pool_size)
+      : core(std::make_shared<SessionCore>(index, options, sink, pool_size)) {}
 
-  const index::Mem2Index& index;
-  const DriverOptions options;
-  SamSink& sink;
-
-  // Producer-side state (submit/finish thread only).
-  std::vector<seq::Read> staging;
-  std::uint64_t next_seq = 0;
-  std::uint64_t reads_submitted = 0;
-  bool finished = false;
-
-  // Paired-mode calibration (producer thread only until pe_ready; workers
-  // read pe_stats only via batches enqueued after it is final, so the
-  // queue mutex provides the ordering).
-  std::vector<seq::Read> calib;
-  pair::InsertStats pe_stats;
-  bool pe_ready = false;
-
-  // Bounded batch queue.
-  std::mutex q_mu;
-  std::condition_variable q_not_full;
-  std::condition_variable q_not_empty;
-  std::deque<WorkItem> queue;
-  bool closed = false;
-
-  // Ordered reassembly.
-  std::mutex emit_mu;
-  std::map<std::uint64_t, std::vector<io::SamRecord>> pending;
-  std::uint64_t next_emit = 0;
-
-  // Sticky error + aggregated stats.
-  mutable std::mutex state_mu;
-  std::atomic<bool> failed{false};
-  Status status;
-  DriverStats stats;
-
+  std::shared_ptr<SessionCore> core;
   std::vector<std::thread> workers;
-
-  void fail(Status st) {
-    {
-      std::lock_guard<std::mutex> lk(state_mu);
-      if (status.ok()) status = std::move(st);
-    }
-    failed.store(true, std::memory_order_release);
-    q_not_full.notify_all();
-  }
-
-  Status snapshot_status() const {
-    std::lock_guard<std::mutex> lk(state_mu);
-    return status;
-  }
-
-  /// Blocks while the queue is full; refuses once the session has failed.
-  Status enqueue(WorkItem item) {
-    std::unique_lock<std::mutex> lk(q_mu);
-    q_not_full.wait(lk, [&] {
-      return static_cast<int>(queue.size()) < options.queue_depth ||
-             failed.load(std::memory_order_acquire);
-    });
-    if (failed.load(std::memory_order_acquire)) return snapshot_status();
-    item.seq = next_seq++;
-    queue.push_back(std::move(item));
-    lk.unlock();
-    q_not_empty.notify_one();
-    return Status();
-  }
-
-  Status enqueue_owned(std::vector<seq::Read> reads) {
-    WorkItem item;
-    item.owned = std::move(reads);
-    item.reads = item.owned;
-    return enqueue(std::move(item));
-  }
-
-  /// Carve owned reads into staging/batches (the copying ingest path).
-  Status ingest(std::vector<seq::Read>&& chunk) {
-    const auto batch = static_cast<std::size_t>(options.batch_size);
-    if (staging.capacity() < batch) staging.reserve(batch);
-    for (auto& r : chunk) {
-      staging.push_back(std::move(r));
-      if (staging.size() == batch) {
-        std::vector<seq::Read> full;
-        full.reserve(batch);
-        full.swap(staging);
-        if (Status st = enqueue_owned(std::move(full)); !st.ok()) return st;
-      }
-    }
-    return Status();
-  }
-
-  /// Estimate the insert-size prior from the buffered calibration prefix,
-  /// then release the buffered reads into the normal batch flow.  Runs on
-  /// the producer thread; deterministic (depends only on submission order).
-  Status run_calibration() {
-    try {
-      const std::size_t n_pairs = std::min<std::size_t>(
-          static_cast<std::size_t>(options.pe.stat_pairs), calib.size() / 2);
-      if (n_pairs > 0) {
-        DriverOptions copt = options;
-        copt.paired = false;
-        BatchWorkspace cws;
-        std::vector<std::vector<AlnReg>> regs;
-        collect_regions(index, std::span(calib.data(), 2 * n_pairs), copt, cws,
-                        regs);
-        std::vector<pair::InsertSample> samples;
-        samples.reserve(n_pairs);
-        for (std::size_t p = 0; p < n_pairs; ++p) {
-          pair::InsertSample s;
-          if (pair::pair_sample(options.mem, options.pe, index.l_pac(),
-                                regs[2 * p], regs[2 * p + 1], &s))
-            samples.push_back(s);
-        }
-        pe_stats = pair::estimate_insert_stats(samples, options.pe);
-      }
-    } catch (const std::exception& e) {
-      fail(Status::from_exception(e).with_context(
-          "calibration", calib.empty() ? std::string() : calib.front().name));
-      return snapshot_status();
-    }
-    pe_ready = true;
-    std::vector<seq::Read> buffered;
-    buffered.swap(calib);
-    return ingest(std::move(buffered));
-  }
+  bool finished = false;
 
   void worker_main() {
     BatchWorkspace workspace;
-    DriverOptions wopt = options;
-    // With several workers the parallelism comes from concurrent batches:
-    // each worker runs its batch serially inside.  An explicit bsw_threads
-    // request is still honoured.  With one worker, behave exactly like the
-    // one-shot driver.
-    if (options.effective_workers() > 1) wopt.threads = 1;
-    DriverStats local_stats;
-    std::vector<std::vector<io::SamRecord>> per_read;
-
     for (;;) {
-      WorkItem item;
+      SessionWorkItem item;
       {
-        std::unique_lock<std::mutex> lk(q_mu);
-        q_not_empty.wait(lk, [&] { return !queue.empty() || closed; });
-        if (queue.empty()) break;
-        item = std::move(queue.front());
-        queue.pop_front();
+        std::unique_lock<std::mutex> lk(core->mu());
+        core->work_cv().wait(lk, [&] {
+          return core->has_work_locked() || core->closed_locked();
+        });
+        if (!core->has_work_locked()) break;
+        item = core->pop_locked();
       }
-      q_not_full.notify_one();
-      if (failed.load(std::memory_order_acquire)) continue;  // drain only
-
-      const std::string first_read =
-          item.reads.empty() ? std::string() : item.reads.front().name;
-      std::vector<io::SamRecord> flat;
-      bool aligned = false;
-      try {
-        if (util::fault_point("align.worker"))
-          throw invariant_error("injected fault: align.worker");
-        per_read.clear();
-        align_chunk(index, item.reads, wopt, options.paired ? &pe_stats : nullptr,
-                    workspace, per_read, &local_stats);
-
-        std::size_t total = 0;
-        for (const auto& v : per_read) total += v.size();
-        flat.reserve(total);
-        for (auto& v : per_read)
-          for (auto& rec : v) flat.push_back(std::move(rec));
-        aligned = true;
-      } catch (const std::exception& e) {
-        fail(Status::from_exception(e).with_context(
-            "align-worker batch " + std::to_string(item.seq), first_read));
-      } catch (...) {
-        fail(Status::internal("unknown error in alignment worker")
-                 .with_context("align-worker batch " + std::to_string(item.seq),
-                               first_read));
-      }
-      if (!aligned) continue;  // the batch never parks: output stays at a
-                               // batch boundary behind the failure point
-
-      try {
-        // Ordered emit: park the batch, then drain every consecutive
-        // ready batch starting at next_emit.
-        std::lock_guard<std::mutex> lk(emit_mu);
-        pending.emplace(item.seq, std::move(flat));
-        for (auto it = pending.find(next_emit); it != pending.end();
-             it = pending.find(next_emit)) {
-          if (!failed.load(std::memory_order_acquire))
-            sink.write_records(std::move(it->second));
-          pending.erase(it);
-          ++next_emit;
-        }
-      } catch (const std::exception& e) {
-        fail(Status::from_exception(e).with_context("sam-emit", first_read));
-      } catch (...) {
-        fail(Status::internal("unknown error writing SAM output")
-                 .with_context("sam-emit", first_read));
-      }
+      core->process(std::move(item), workspace);
     }
-
-    std::lock_guard<std::mutex> lk(state_mu);
-    stats += local_stats;
   }
 };
 
@@ -267,134 +52,57 @@ Stream::~Stream() {
 }
 
 Status Stream::submit(std::vector<seq::Read> chunk) {
-  Impl& im = *impl_;
-  if (im.finished) return Status::invalid("submit() after finish()");
-  // `failed` is set (release) only after `status` is written under
-  // state_mu, so it is the lock-free guard for the sticky error.
-  if (im.failed.load(std::memory_order_acquire)) return im.snapshot_status();
-
-  im.reads_submitted += chunk.size();
-  if (im.options.paired && !im.pe_ready) {
-    // Buffer until the calibration prefix is complete; nothing reaches the
-    // workers before the insert-size prior is fixed.
-    for (auto& r : chunk) im.calib.push_back(std::move(r));
-    if (im.calib.size() >=
-        2 * static_cast<std::size_t>(im.options.pe.stat_pairs))
-      return im.run_calibration();
-    return Status();
-  }
-  return im.ingest(std::move(chunk));
+  if (impl_->finished) return Status::invalid("submit() after finish()");
+  return impl_->core->submit_owned(std::move(chunk));
 }
 
 Status Stream::submit(std::span<const seq::Read> chunk) {
-  Impl& im = *impl_;
-  if (im.finished) return Status::invalid("submit() after finish()");
-  if (im.failed.load(std::memory_order_acquire)) return im.snapshot_status();
-
-  im.reads_submitted += chunk.size();
-  if (im.options.paired && !im.pe_ready) {
-    // Calibration buffers by copy; zero-copy resumes once the prior is set.
-    im.calib.insert(im.calib.end(), chunk.begin(), chunk.end());
-    if (im.calib.size() >=
-        2 * static_cast<std::size_t>(im.options.pe.stat_pairs))
-      return im.run_calibration();
-    return Status();
-  }
-  const auto batch = static_cast<std::size_t>(im.options.batch_size);
-
-  // Top up a partially staged batch first (copying) to preserve order.
-  while (!im.staging.empty() && !chunk.empty()) {
-    im.staging.push_back(chunk.front());
-    chunk = chunk.subspan(1);
-    if (im.staging.size() == batch) {
-      std::vector<seq::Read> full;
-      full.reserve(batch);
-      full.swap(im.staging);
-      if (Status st = im.enqueue_owned(std::move(full)); !st.ok()) return st;
-    }
-  }
-  // Full batches go in as views of the caller's memory — no copy.
-  while (chunk.size() >= batch) {
-    WorkItem item;
-    item.reads = chunk.first(batch);
-    chunk = chunk.subspan(batch);
-    if (Status st = im.enqueue(std::move(item)); !st.ok()) return st;
-  }
-  // Stage the tail (< batch_size) until more reads arrive or finish().
-  if (!chunk.empty()) {
-    if (im.staging.capacity() < batch) im.staging.reserve(batch);
-    im.staging.insert(im.staging.end(), chunk.begin(), chunk.end());
-  }
-  return Status();
+  if (impl_->finished) return Status::invalid("submit() after finish()");
+  return impl_->core->submit_view(chunk);
 }
 
 Status Stream::finish() {
   Impl& im = *impl_;
-  if (im.finished) return im.snapshot_status();
+  if (im.finished) return im.core->snapshot_status();
   im.finished = true;
 
-  if (im.options.paired && !im.failed.load(std::memory_order_acquire)) {
-    if (im.reads_submitted % 2 != 0)
-      im.fail(Status::invalid(
-          "paired input requires an even number of reads (adjacent R1/R2 mates)"));
-    else if (!im.pe_ready)
-      im.run_calibration();  // short input: calibrate on what we have
-  }
-  if (!im.failed.load(std::memory_order_acquire) && !im.staging.empty())
-    im.enqueue_owned(std::move(im.staging));
-  im.staging.clear();
-  im.calib.clear();
-
-  {
-    std::lock_guard<std::mutex> lk(im.q_mu);
-    im.closed = true;
-  }
-  im.q_not_empty.notify_all();
+  im.core->close();
   for (auto& t : im.workers)
     if (t.joinable()) t.join();
   im.workers.clear();
-
-  im.stats.reads += im.reads_submitted;
-  if (!im.failed.load(std::memory_order_acquire)) im.sink.flush();
-  return im.snapshot_status();
+  im.core->wait_drained();
+  im.core->finalize();
+  return im.core->snapshot_status();
 }
 
-Status Stream::status() const { return impl_->snapshot_status(); }
+Status Stream::status() const { return impl_->core->snapshot_status(); }
 
-const DriverStats& Stream::stats() const { return impl_->stats; }
+const DriverStats& Stream::stats() const { return impl_->core->stats(); }
 
-const pair::InsertStats& Stream::pair_stats() const { return impl_->pe_stats; }
+const pair::InsertStats& Stream::pair_stats() const {
+  return impl_->core->pair_stats();
+}
+
+StreamMetrics Stream::metrics() const { return impl_->core->metrics_snapshot(); }
 
 Aligner::Aligner(const index::Mem2Index& index, DriverOptions options)
     : index_(index), options_(options) {
-  status_ = validate_driver_options(options_);
-  if (!status_.ok()) return;
-  // Index capability checks, surfaced at construction instead of from a
-  // worker thread mid-stream.
-  if (options_.mode == Mode::kBatch) {
-    if (!index.has_cp32())
-      status_ = Status::invalid("batch driver needs the CP32 index");
-    else if (!index.has_flat_sa())
-      status_ = Status::invalid("batch driver needs the flat SA");
-  } else if (!index.has_cp128()) {
-    status_ = Status::invalid("baseline driver needs the CP128 index");
-  }
+  status_ = validate_session(index_, options_);
 }
 
 std::string Aligner::sam_header() const { return sam_header_for(index_, options_); }
 
 Stream Aligner::open(SamSink& sink) const {
-  auto impl = std::make_unique<Stream::Impl>(index_, options_, sink);
-  impl->status = status_;
+  const int workers = options_.effective_workers();
+  auto impl = std::make_unique<Stream::Impl>(index_, options_, sink, workers);
   if (status_.ok()) {
     sink.write_header(sam_header());
-    const int workers = options_.effective_workers();
     impl->workers.reserve(static_cast<std::size_t>(workers));
     Stream::Impl& im = *impl;
     for (int w = 0; w < workers; ++w)
       impl->workers.emplace_back([&im] { im.worker_main(); });
   } else {
-    impl->failed.store(true, std::memory_order_release);
+    impl->core->fail(status_);
   }
   return Stream(std::move(impl));
 }

@@ -37,6 +37,7 @@
 
 #include "align/driver.h"
 #include "align/sam_sink.h"
+#include "align/session.h"
 #include "align/status.h"
 
 namespace mem2::align {
@@ -77,6 +78,11 @@ class Stream {
   /// finish() for shorter inputs).  Zero-valued (all classes failed) until
   /// calibration has run; stable afterwards.
   const pair::InsertStats& pair_stats() const;
+
+  /// Observability snapshot: batches/records processed so far, queue-depth
+  /// high-water mark and batch-latency quantiles.  Thread-safe; callable
+  /// mid-stream.
+  StreamMetrics metrics() const;
 
  private:
   friend class Aligner;

@@ -41,7 +41,7 @@ void align_reads_baseline(const index::Mem2Index& index,
   {
     const int tid = omp_get_thread_num();
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
-    util::tls_counters().reset();
+    util::CounterCapture capture;
     smem::SmemWorkspace ws;
     std::vector<smem::Smem> smems;
 
@@ -116,7 +116,7 @@ void align_reads_baseline(const index::Mem2Index& index,
         per_read[static_cast<std::size_t>(r)] = regions_to_sam(ctx, read, regs);
       }
     }
-    thread_counters[static_cast<std::size_t>(tid)] = util::tls_counters();
+    thread_counters[static_cast<std::size_t>(tid)] = capture.take();
   }
 
   if (stats) {

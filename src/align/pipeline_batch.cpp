@@ -267,7 +267,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
 #pragma omp parallel num_threads(n_threads)
   {
     const int tid = omp_get_thread_num();
-    util::tls_counters().reset();
+    util::CounterCapture capture;  // per-session delta, not a TLS reset
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
     util::Timer timer;
 #pragma omp for schedule(dynamic, 1)
@@ -336,8 +336,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
       });
     }
     st[util::Stage::kBswPre] += timer.seconds();
-    thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
-    util::tls_counters().reset();
+    thread_counters[static_cast<std::size_t>(tid)] += capture.take();
   }
   guard.rethrow();
 
@@ -348,6 +347,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
   // serial path for any thread count. ---
   {
     util::Timer bsw_timer;
+    util::CounterCapture capture;  // banks the executor's reduced counters
     // Enumerate items [0, n_items) into per-block job lists built
     // concurrently, then splice in block order.  Blocks are contiguous
     // item ranges, so the spliced pool preserves read order exactly.
@@ -460,10 +460,8 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
 
     st0[util::Stage::kBsw] += bsw_timer.seconds();
     // The executor reduces worker-thread counters onto this (master)
-    // thread's TLS sink; bank them before the next parallel region
-    // resets thread-local state.
-    thread_counters[0] += util::tls_counters();
-    util::tls_counters().reset();
+    // thread's TLS sink; the capture banks exactly this session's share.
+    thread_counters[0] += capture.take();
   }
 
   // --- Replay the decision logic into per-read region lists, then
@@ -471,7 +469,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
 #pragma omp parallel num_threads(n_threads)
   {
     const int tid = omp_get_thread_num();
-    util::tls_counters().reset();
+    util::CounterCapture capture;
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
@@ -496,7 +494,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
         }
       });
     }
-    thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
+    thread_counters[static_cast<std::size_t>(tid)] += capture.take();
   }
   guard.rethrow();
 
@@ -522,6 +520,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   std::vector<ReadState>& states = ws.states;
   util::StageTimes& st0 = ws.thread_stages[0];
   util::Timer pair_timer;
+  util::CounterCapture capture;  // banks the serial rescue rounds' counters
   util::OmpExceptionGuard guard;  // see batch_regions
 
   // --- Rescue harvest: parallel blocks over contiguous pair ranges,
@@ -807,8 +806,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
       at.anchors = attempts[static_cast<std::size_t>(at.dup_of)].anchors;
   ws.thread_counters[0].pe_rescue_jobs += rescue_jobs;
   // The executor reduced its worker counters onto this thread's TLS sink.
-  ws.thread_counters[0] += util::tls_counters();
-  util::tls_counters().reset();
+  ws.thread_counters[0] += capture.take();
   st0[util::Stage::kPair] += pair_timer.seconds();
 
   // --- Finalize: splice rescue hits into the mates' region lists, pair,
@@ -816,7 +814,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
 #pragma omp parallel num_threads(n_threads)
   {
     const int tid = omp_get_thread_num();
-    util::tls_counters().reset();
+    util::CounterCapture finalize_capture;
     util::StageTimes& st = ws.thread_stages[static_cast<std::size_t>(tid)];
     util::Timer timer;
 #pragma omp for schedule(dynamic, 8)
@@ -865,8 +863,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
       });
     }
     st[util::Stage::kPair] += timer.seconds();
-    ws.thread_counters[static_cast<std::size_t>(tid)] += util::tls_counters();
-    util::tls_counters().reset();
+    ws.thread_counters[static_cast<std::size_t>(tid)] += finalize_capture.take();
   }
   guard.rethrow();
 }

@@ -1,0 +1,357 @@
+// SessionCore implementation — the queueing/calibration/reassembly engine
+// previously embedded in Stream::Impl (see session.h for the split).
+//
+// Concurrency design (unchanged from the original Stream):
+//   - The producer carves reads into batch_size batches and enqueues them;
+//     the queue holds at most queue_depth batches, so the producer blocks
+//     instead of buffering unbounded input.
+//   - A worker (dedicated or pooled) pops one batch, aligns it with its own
+//     BatchWorkspace, then inserts the flattened records into a reorder
+//     buffer keyed by batch sequence number.  Whichever worker completes
+//     the next-in-order batch drains the buffer to the sink under emit_mu_,
+//     so records always reach the sink in read order.
+//   - Errors are sticky: the first failure is recorded, wakes any blocked
+//     producer, and suppresses all further sink writes.  Workers keep
+//     draining the queue after a failure so back-pressure never deadlocks,
+//     and the ordered writer stops at the first missing batch, leaving the
+//     sink at a batch boundary.  Failure is per-session: siblings sharing
+//     the pool (serve::AlignService) never observe it.
+#include "align/session.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "pair/pairing.h"
+#include "util/common.h"
+#include "util/fault_injector.h"
+
+namespace mem2::align {
+
+double StreamMetrics::quantile(double q) const {
+  if (batch_seconds.empty()) return 0.0;
+  std::vector<double> s(batch_seconds);
+  std::sort(s.begin(), s.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(s.size() - 1) + 0.5);
+  return s[std::min(idx, s.size() - 1)];
+}
+
+Status validate_session(const index::Mem2Index& index,
+                        const DriverOptions& options) {
+  if (Status st = validate_driver_options(options); !st.ok()) return st;
+  // Index capability checks, surfaced at session setup instead of from a
+  // worker thread mid-stream.
+  if (options.mode == Mode::kBatch) {
+    if (!index.has_cp32())
+      return Status::invalid("batch driver needs the CP32 index");
+    if (!index.has_flat_sa())
+      return Status::invalid("batch driver needs the flat SA");
+  } else if (!index.has_cp128()) {
+    return Status::invalid("baseline driver needs the CP128 index");
+  }
+  return Status();
+}
+
+SessionCore::SessionCore(const index::Mem2Index& index, DriverOptions options,
+                         SamSink& sink, int pool_size, std::mutex* shared_mu,
+                         std::condition_variable* shared_work_cv,
+                         std::shared_ptr<void> keep_alive)
+    : index_(index),
+      options_(std::move(options)),
+      worker_options_(options_),
+      sink_(sink),
+      keep_alive_(std::move(keep_alive)),
+      q_mu_(shared_mu ? shared_mu : &own_mu_),
+      work_cv_(shared_work_cv ? shared_work_cv : &own_work_cv_) {
+  // With several workers available the parallelism comes from concurrent
+  // batches: each batch runs serially inside.  An explicit bsw_threads
+  // request is still honoured.  With one worker, behave exactly like the
+  // one-shot driver.
+  if (pool_size > 1) worker_options_.threads = 1;
+}
+
+void SessionCore::fail(Status st) {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (status_.ok()) status_ = std::move(st);
+  }
+  failed_.store(true, std::memory_order_release);
+  q_not_full_.notify_all();
+}
+
+Status SessionCore::snapshot_status() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return status_;
+}
+
+DriverStats SessionCore::stats_snapshot() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return stats_;
+}
+
+StreamMetrics SessionCore::metrics_snapshot() const {
+  StreamMetrics m;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    m = metrics_;
+  }
+  m.queue_hwm = queue_hwm_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(emit_mu_);
+    m.records = records_written_;
+  }
+  return m;
+}
+
+Status SessionCore::enqueue(SessionWorkItem item) {
+  std::unique_lock<std::mutex> lk(*q_mu_);
+  q_not_full_.wait(lk, [&] {
+    return static_cast<int>(queue_.size()) < options_.queue_depth ||
+           failed_.load(std::memory_order_acquire);
+  });
+  if (failed_.load(std::memory_order_acquire)) return snapshot_status();
+  item.seq = next_seq_++;
+  item.enqueued = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(item));
+  if (queue_.size() > queue_hwm_.load(std::memory_order_relaxed))
+    queue_hwm_.store(queue_.size(), std::memory_order_relaxed);
+  lk.unlock();
+  work_cv_->notify_one();
+  return Status();
+}
+
+Status SessionCore::enqueue_owned(std::vector<seq::Read> reads) {
+  SessionWorkItem item;
+  item.owned = std::move(reads);
+  item.reads = item.owned;
+  return enqueue(std::move(item));
+}
+
+Status SessionCore::ingest(std::vector<seq::Read>&& chunk) {
+  const auto batch = static_cast<std::size_t>(options_.batch_size);
+  if (staging_.capacity() < batch) staging_.reserve(batch);
+  for (auto& r : chunk) {
+    staging_.push_back(std::move(r));
+    if (staging_.size() == batch) {
+      std::vector<seq::Read> full;
+      full.reserve(batch);
+      full.swap(staging_);
+      if (Status st = enqueue_owned(std::move(full)); !st.ok()) return st;
+    }
+  }
+  return Status();
+}
+
+Status SessionCore::run_calibration() {
+  try {
+    const std::size_t n_pairs = std::min<std::size_t>(
+        static_cast<std::size_t>(options_.pe.stat_pairs), calib_.size() / 2);
+    if (n_pairs > 0) {
+      DriverOptions copt = options_;
+      copt.paired = false;
+      BatchWorkspace cws;
+      std::vector<std::vector<AlnReg>> regs;
+      collect_regions(index_, std::span(calib_.data(), 2 * n_pairs), copt, cws,
+                      regs);
+      std::vector<pair::InsertSample> samples;
+      samples.reserve(n_pairs);
+      for (std::size_t p = 0; p < n_pairs; ++p) {
+        pair::InsertSample s;
+        if (pair::pair_sample(options_.mem, options_.pe, index_.l_pac(),
+                              regs[2 * p], regs[2 * p + 1], &s))
+          samples.push_back(s);
+      }
+      pe_stats_ = pair::estimate_insert_stats(samples, options_.pe);
+    }
+  } catch (const std::exception& e) {
+    fail(Status::from_exception(e).with_context(
+        "calibration", calib_.empty() ? std::string() : calib_.front().name));
+    return snapshot_status();
+  }
+  pe_ready_ = true;
+  std::vector<seq::Read> buffered;
+  buffered.swap(calib_);
+  return ingest(std::move(buffered));
+}
+
+Status SessionCore::submit_owned(std::vector<seq::Read> chunk) {
+  // `failed_` is set (release) only after `status_` is written under
+  // state_mu_, so it is the lock-free guard for the sticky error.
+  if (failed_.load(std::memory_order_acquire)) return snapshot_status();
+
+  reads_submitted_ += chunk.size();
+  if (options_.paired && !pe_ready_) {
+    // Buffer until the calibration prefix is complete; nothing reaches the
+    // workers before the insert-size prior is fixed.
+    for (auto& r : chunk) calib_.push_back(std::move(r));
+    if (calib_.size() >= 2 * static_cast<std::size_t>(options_.pe.stat_pairs))
+      return run_calibration();
+    return Status();
+  }
+  return ingest(std::move(chunk));
+}
+
+Status SessionCore::submit_view(std::span<const seq::Read> chunk) {
+  if (failed_.load(std::memory_order_acquire)) return snapshot_status();
+
+  reads_submitted_ += chunk.size();
+  if (options_.paired && !pe_ready_) {
+    // Calibration buffers by copy; zero-copy resumes once the prior is set.
+    calib_.insert(calib_.end(), chunk.begin(), chunk.end());
+    if (calib_.size() >= 2 * static_cast<std::size_t>(options_.pe.stat_pairs))
+      return run_calibration();
+    return Status();
+  }
+  const auto batch = static_cast<std::size_t>(options_.batch_size);
+
+  // Top up a partially staged batch first (copying) to preserve order.
+  while (!staging_.empty() && !chunk.empty()) {
+    staging_.push_back(chunk.front());
+    chunk = chunk.subspan(1);
+    if (staging_.size() == batch) {
+      std::vector<seq::Read> full;
+      full.reserve(batch);
+      full.swap(staging_);
+      if (Status st = enqueue_owned(std::move(full)); !st.ok()) return st;
+    }
+  }
+  // Full batches go in as views of the caller's memory — no copy.
+  while (chunk.size() >= batch) {
+    SessionWorkItem item;
+    item.reads = chunk.first(batch);
+    chunk = chunk.subspan(batch);
+    if (Status st = enqueue(std::move(item)); !st.ok()) return st;
+  }
+  // Stage the tail (< batch_size) until more reads arrive or close().
+  if (!chunk.empty()) {
+    if (staging_.capacity() < batch) staging_.reserve(batch);
+    staging_.insert(staging_.end(), chunk.begin(), chunk.end());
+  }
+  return Status();
+}
+
+void SessionCore::close() {
+  if (options_.paired && !failed_.load(std::memory_order_acquire)) {
+    if (reads_submitted_ % 2 != 0)
+      fail(Status::invalid(
+          "paired input requires an even number of reads (adjacent R1/R2 mates)"));
+    else if (!pe_ready_)
+      run_calibration();  // short input: calibrate on what we have
+  }
+  if (!failed_.load(std::memory_order_acquire) && !staging_.empty())
+    enqueue_owned(std::move(staging_));
+  staging_.clear();
+  calib_.clear();
+
+  {
+    std::lock_guard<std::mutex> lk(*q_mu_);
+    closed_ = true;
+  }
+  work_cv_->notify_all();
+}
+
+void SessionCore::wait_drained() {
+  std::unique_lock<std::mutex> lk(*q_mu_);
+  drained_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void SessionCore::finalize() {
+  stats_.reads += reads_submitted_;
+  if (!failed_.load(std::memory_order_acquire)) {
+    try {
+      sink_.flush();
+    } catch (const std::exception& e) {
+      fail(Status::from_exception(e).with_context("sam-flush"));
+    } catch (...) {
+      fail(Status::internal("unknown error flushing SAM output")
+               .with_context("sam-flush"));
+    }
+  }
+}
+
+SessionWorkItem SessionCore::pop_locked() {
+  SessionWorkItem item = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  q_not_full_.notify_one();
+  return item;
+}
+
+void SessionCore::retire_locked() {
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+}
+
+void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
+  if (!failed_.load(std::memory_order_acquire)) {
+    const std::string first_read =
+        item.reads.empty() ? std::string() : item.reads.front().name;
+    std::vector<io::SamRecord> flat;
+    DriverStats batch_stats;
+    bool aligned = false;
+    try {
+      if (util::fault_point("align.worker"))
+        throw invariant_error("injected fault: align.worker");
+      std::vector<std::vector<io::SamRecord>> per_read;
+      align_chunk(index_, item.reads, worker_options_,
+                  options_.paired ? &pe_stats_ : nullptr, workspace, per_read,
+                  &batch_stats);
+
+      std::size_t total = 0;
+      for (const auto& v : per_read) total += v.size();
+      flat.reserve(total);
+      for (auto& v : per_read)
+        for (auto& rec : v) flat.push_back(std::move(rec));
+      aligned = true;
+    } catch (const std::exception& e) {
+      fail(Status::from_exception(e).with_context(
+          "align-worker batch " + std::to_string(item.seq), first_read));
+    } catch (...) {
+      fail(Status::internal("unknown error in alignment worker")
+               .with_context("align-worker batch " + std::to_string(item.seq),
+                             first_read));
+    }
+
+    if (aligned) {
+      try {
+        // Ordered emit: park the batch, then drain every consecutive
+        // ready batch starting at next_emit_.  A failed batch never parks,
+        // so output stays at a batch boundary behind the failure point.
+        std::lock_guard<std::mutex> lk(emit_mu_);
+        pending_.emplace(item.seq, std::move(flat));
+        for (auto it = pending_.find(next_emit_); it != pending_.end();
+             it = pending_.find(next_emit_)) {
+          if (!failed_.load(std::memory_order_acquire)) {
+            const std::size_t n = it->second.size();
+            sink_.write_records(std::move(it->second));
+            records_written_ += n;
+          }
+          pending_.erase(it);
+          ++next_emit_;
+        }
+      } catch (const std::exception& e) {
+        fail(Status::from_exception(e).with_context("sam-emit", first_read));
+      } catch (...) {
+        fail(Status::internal("unknown error writing SAM output")
+                 .with_context("sam-emit", first_read));
+      }
+    }
+
+    const double latency = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - item.enqueued)
+                               .count();
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      stats_ += batch_stats;
+      ++metrics_.batches;
+      if (metrics_.batch_seconds.size() < StreamMetrics::kMaxSamples)
+        metrics_.batch_seconds.push_back(latency);
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(*q_mu_);
+  retire_locked();
+}
+
+}  // namespace mem2::align

@@ -1,0 +1,183 @@
+// SessionCore — the per-stream session engine behind both front doors.
+//
+// A core owns everything one streaming session needs except the worker
+// threads: the bounded batch queue with back-pressure, paired-mode
+// calibration, ordered reassembly into the session's SamSink, the sticky
+// Status, per-session DriverStats and the StreamMetrics observability
+// block.  Who supplies the threads is the only difference between the two
+// deployment shapes:
+//
+//   - Stream (aligner.h): a dedicated pool per session.  The core owns its
+//     queue mutex and work condition variable; workers block on them.
+//   - serve::AlignService: one global pool multiplexed over many cores.
+//     Every core is constructed with the service's shared mutex + work cv,
+//     so a pooled worker can scan all sessions' queues under one lock and
+//     pick fairly.
+//
+// Producer calls (submit/close/wait_drained/finalize) are single-threaded
+// per core, exactly like Stream.  Worker calls come from any thread: hold a
+// lock on mu() around the *_locked accessors, then run process() unlocked.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "align/driver.h"
+#include "align/sam_sink.h"
+#include "align/status.h"
+
+namespace mem2::align {
+
+/// One queued batch.  `reads` views `owned` (copying ingest) or caller
+/// memory (zero-copy span submit).
+struct SessionWorkItem {
+  std::uint64_t seq = 0;
+  std::vector<seq::Read> owned;
+  std::span<const seq::Read> reads;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+/// Per-stream observability: batch counts, queue-depth high-water mark and
+/// a bounded sample of end-to-end batch latencies (enqueue -> records
+/// emitted), from which the service reports p50/p99 per stream.
+struct StreamMetrics {
+  std::uint64_t batches = 0;         // batches fully processed
+  std::uint64_t records = 0;         // SAM records written to the sink
+  std::size_t queue_hwm = 0;         // max batches ever waiting in the queue
+  std::vector<double> batch_seconds; // latency sample (capped; see kMaxSamples)
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+  double quantile(double q) const;
+};
+
+/// Validate a session configuration against an index: driver options plus
+/// the index capabilities the chosen mode needs.  Shared by Aligner's
+/// constructor and AlignService::open().
+Status validate_session(const index::Mem2Index& index,
+                        const DriverOptions& options);
+
+class SessionCore {
+ public:
+  /// `pool_size` is how many workers may run this core's batches
+  /// concurrently (it decides whether a batch parallelizes internally, as
+  /// in the single-worker Stream, or stays serial per batch).  Standalone
+  /// cores pass null `shared_mu`/`shared_work_cv` and own both; service
+  /// cores receive the pool's.  `keep_alive` pins whatever owns the shared
+  /// mutex (the service Impl) so a handle outliving the service stays safe.
+  SessionCore(const index::Mem2Index& index, DriverOptions options,
+              SamSink& sink, int pool_size, std::mutex* shared_mu = nullptr,
+              std::condition_variable* shared_work_cv = nullptr,
+              std::shared_ptr<void> keep_alive = nullptr);
+
+  SessionCore(const SessionCore&) = delete;
+  SessionCore& operator=(const SessionCore&) = delete;
+
+  // --- Producer side (one thread per core, like Stream) ---
+
+  /// Carve a chunk into batches, blocking on back-pressure.  Owned variant
+  /// moves the reads in; view variant enqueues full batches as views into
+  /// caller memory that must stay alive until finalize() returns.
+  Status submit_owned(std::vector<seq::Read> chunk);
+  Status submit_view(std::span<const seq::Read> chunk);
+
+  /// No more submissions: runs tail calibration (paired), flushes the
+  /// staging buffer, marks the queue closed and wakes all workers.
+  void close();
+
+  /// Block until every queued batch has been popped *and* processed.
+  void wait_drained();
+
+  /// Final bookkeeping after the pipeline drained: folds the submitted-read
+  /// count into stats and flushes the sink (unless failed).  Returns the
+  /// final session status.
+  void finalize();
+
+  // --- Shared state ---
+
+  void fail(Status st);
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  Status snapshot_status() const;
+  /// Stable reference once finalize() has run (Stream::stats contract).
+  const DriverStats& stats() const { return stats_; }
+  /// Thread-safe copy for live service-wide metrics aggregation.
+  DriverStats stats_snapshot() const;
+  const pair::InsertStats& pair_stats() const { return pe_stats_; }
+  StreamMetrics metrics_snapshot() const;
+  const DriverOptions& options() const { return options_; }
+
+  // --- Worker side: lock mu() around the *_locked calls ---
+
+  std::mutex& mu() { return *q_mu_; }
+  std::condition_variable& work_cv() { return *work_cv_; }
+  bool has_work_locked() const { return !queue_.empty(); }
+  bool closed_locked() const { return closed_; }
+  /// Nothing queued and nothing being processed.
+  bool idle_locked() const { return queue_.empty() && in_flight_ == 0; }
+  SessionWorkItem pop_locked();
+  /// Align one popped batch with `workspace` and emit it in order.  Runs
+  /// without any lock held; failures land in the sticky status.
+  void process(SessionWorkItem item, BatchWorkspace& workspace);
+
+ private:
+  Status enqueue(SessionWorkItem item);
+  Status enqueue_owned(std::vector<seq::Read> reads);
+  Status ingest(std::vector<seq::Read>&& chunk);
+  Status run_calibration();
+  void retire_locked();
+
+  const index::Mem2Index& index_;
+  const DriverOptions options_;
+  DriverOptions worker_options_;  // threads=1 when the pool supplies >1
+  SamSink& sink_;
+  std::shared_ptr<void> keep_alive_;
+
+  // Producer-side state.
+  std::vector<seq::Read> staging_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t reads_submitted_ = 0;
+
+  // Paired-mode calibration (producer thread only until pe_ready_).
+  std::vector<seq::Read> calib_;
+  pair::InsertStats pe_stats_;
+  bool pe_ready_ = false;
+
+  // Bounded batch queue.  q_mu_/work_cv_ point at own_* or the service's.
+  std::mutex own_mu_;
+  std::condition_variable own_work_cv_;
+  std::mutex* q_mu_;
+  std::condition_variable* work_cv_;
+  std::condition_variable q_not_full_;
+  std::condition_variable drained_cv_;
+  std::deque<SessionWorkItem> queue_;
+  int in_flight_ = 0;
+  // Written under q_mu_ but atomic so metrics_snapshot() can read it
+  // without the queue mutex — which may be the service's shared mutex,
+  // already held by a metrics() caller.
+  std::atomic<std::size_t> queue_hwm_{0};
+  bool closed_ = false;
+
+  // Ordered reassembly.
+  mutable std::mutex emit_mu_;
+  std::map<std::uint64_t, std::vector<io::SamRecord>> pending_;
+  std::uint64_t next_emit_ = 0;
+  std::uint64_t records_written_ = 0;
+
+  // Sticky error + per-session stats/metrics.
+  mutable std::mutex state_mu_;
+  std::atomic<bool> failed_{false};
+  Status status_;
+  DriverStats stats_;
+  StreamMetrics metrics_;
+};
+
+}  // namespace mem2::align

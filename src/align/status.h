@@ -24,6 +24,7 @@ enum class ErrorCode {
   kIoError,          // the outside world failed: unreadable input, full disk
   kDataCorruption,   // persisted data failed integrity validation
   kInternal,         // an invariant broke inside the pipeline
+  kResourceExhausted,  // admission denied: service at capacity, retry later
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -33,6 +34,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIoError: return "io-error";
     case ErrorCode::kDataCorruption: return "data-corruption";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
   }
   return "unknown";
 }
@@ -53,6 +55,9 @@ class Status {
   }
   static Status internal(std::string message) {
     return Status(ErrorCode::kInternal, std::move(message));
+  }
+  static Status resource_exhausted(std::string message) {
+    return Status(ErrorCode::kResourceExhausted, std::move(message));
   }
 
   /// Classify a caught exception by its concrete type: io_error -> kIoError,

@@ -1,0 +1,295 @@
+// AlignService implementation: admission, the shared worker pool and the
+// round-robin scheduler over per-session SessionCores (see align_service.h
+// for the design).
+//
+// Locking: impl->mu is simultaneously the service registry lock *and*
+// every session core's queue mutex (cores are constructed with it), so a
+// worker holding mu sees a consistent picture of all queues while picking.
+// Lock order is mu -> core state_mu; emit locks are per-core and never
+// nest with mu.  Batch processing itself runs with no lock held.
+#include "serve/align_service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "align/session.h"
+
+namespace mem2::serve {
+
+align::Status validate_serve_options(const ServeOptions& options) {
+  if (options.workers < 0)
+    return align::Status::invalid("serve: workers must be >= 0 (0 = auto)");
+  if (options.max_streams < 1)
+    return align::Status::invalid("serve: max_streams must be >= 1");
+  if (options.max_inflight_batches < 1)
+    return align::Status::invalid("serve: max_inflight_batches must be >= 1");
+  return align::Status();
+}
+
+std::string ServiceMetrics::summary() const {
+  std::ostringstream os;
+  os << "streams active=" << active_streams << " peak=" << peak_streams
+     << " opened=" << streams_opened << " rejected=" << streams_rejected
+     << " completed=" << streams_completed << " failed=" << streams_failed
+     << " | reads=" << reads << " records=" << records
+     << " batches=" << batches << " bsw_pairs=" << counters.bsw_pairs
+     << " smems=" << counters.smems_found;
+  return os.str();
+}
+
+struct AlignService::Impl {
+  Impl(const index::Mem2Index& index, const ServeOptions& options, int workers)
+      : index(index), opts(options), n_workers(workers) {}
+
+  const index::Mem2Index& index;
+  const ServeOptions opts;
+  const int n_workers;
+
+  // Registry + scheduler state; also every core's queue mutex / work cv.
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::vector<std::shared_ptr<align::SessionCore>> live;
+  std::size_t cursor = 0;  // round-robin scan start
+  int reserved_batches = 0;
+  bool shutdown = false;
+
+  // Admission counters + aggregates folded in as sessions retire.
+  ServiceMetrics retired;
+
+  std::vector<std::thread> pool;
+
+  bool has_any_work_locked() const {
+    for (const auto& core : live)
+      if (core->has_work_locked()) return true;
+    return false;
+  }
+
+  /// Next session with a queued batch, scanning round-robin from the
+  /// rotating cursor: each pick takes at most one batch per session before
+  /// moving on, so queue lengths — not submission aggressiveness — bound
+  /// how far any client can get ahead.
+  std::shared_ptr<align::SessionCore> pick_locked() {
+    const std::size_t n = live.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (cursor + k) % n;
+      if (live[i]->has_work_locked()) {
+        cursor = (i + 1) % n;
+        return live[i];
+      }
+    }
+    return nullptr;
+  }
+
+  void worker_main() {
+    align::BatchWorkspace workspace;  // option-agnostic: reused across sessions
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      work_cv.wait(lk, [&] { return shutdown || has_any_work_locked(); });
+      auto core = pick_locked();
+      if (!core) {
+        if (shutdown) break;  // spurious/raced wake with no work left
+        continue;
+      }
+      auto item = core->pop_locked();
+      lk.unlock();
+      core->process(std::move(item), workspace);
+      core.reset();  // drop the ref before re-locking (finish may erase it)
+      lk.lock();
+    }
+  }
+
+  /// Remove a finished session and fold its stats into the aggregates.
+  void unregister(const std::shared_ptr<align::SessionCore>& core, bool ok) {
+    std::lock_guard<std::mutex> lk(mu);
+    live.erase(std::remove(live.begin(), live.end(), core), live.end());
+    reserved_batches -= core->options().queue_depth;
+    const align::DriverStats& s = core->stats();  // stable after finalize()
+    const align::StreamMetrics m = core->metrics_snapshot();
+    retired.reads += s.reads;
+    retired.counters += s.counters;
+    retired.records += m.records;
+    retired.batches += m.batches;
+    ++(ok ? retired.streams_completed : retired.streams_failed);
+  }
+};
+
+struct ServiceStream::State {
+  std::shared_ptr<AlignService::Impl> impl;
+  std::shared_ptr<align::SessionCore> core;  // null when admission failed
+  align::Status err;                         // the admission/validation error
+  bool finished = false;
+};
+
+ServiceStream::ServiceStream() = default;
+ServiceStream::ServiceStream(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+ServiceStream::ServiceStream(ServiceStream&&) noexcept = default;
+ServiceStream& ServiceStream::operator=(ServiceStream&&) noexcept = default;
+
+ServiceStream::~ServiceStream() {
+  if (state_ && !state_->finished) finish();
+}
+
+bool ServiceStream::ok() const { return status().ok(); }
+
+align::Status ServiceStream::status() const {
+  if (!state_) return align::Status::invalid("empty ServiceStream handle");
+  if (state_->core) return state_->core->snapshot_status();
+  return state_->err;
+}
+
+align::Status ServiceStream::submit(std::vector<seq::Read> chunk) {
+  if (!state_ || !state_->core) return status();
+  if (state_->finished) return align::Status::invalid("submit() after finish()");
+  return state_->core->submit_owned(std::move(chunk));
+}
+
+align::Status ServiceStream::submit(std::span<const seq::Read> chunk) {
+  if (!state_ || !state_->core) return status();
+  if (state_->finished) return align::Status::invalid("submit() after finish()");
+  return state_->core->submit_view(chunk);
+}
+
+align::Status ServiceStream::finish() {
+  if (!state_ || !state_->core) {
+    if (state_) state_->finished = true;
+    return status();
+  }
+  State& st = *state_;
+  if (st.finished) return st.core->snapshot_status();
+  st.finished = true;
+
+  st.core->close();
+  st.core->wait_drained();  // the shared pool drains this session's queue
+  st.core->finalize();
+  const align::Status final = st.core->snapshot_status();
+  st.impl->unregister(st.core, final.ok());
+  return final;
+}
+
+const align::DriverStats& ServiceStream::stats() const {
+  static const align::DriverStats empty;
+  return state_ && state_->core ? state_->core->stats() : empty;
+}
+
+const pair::InsertStats& ServiceStream::pair_stats() const {
+  static const pair::InsertStats empty;
+  return state_ && state_->core ? state_->core->pair_stats() : empty;
+}
+
+align::StreamMetrics ServiceStream::metrics() const {
+  return state_ && state_->core ? state_->core->metrics_snapshot()
+                                : align::StreamMetrics{};
+}
+
+AlignService::AlignService(const index::Mem2Index& index, ServeOptions options)
+    : options_(options) {
+  status_ = validate_serve_options(options_);
+  if (!status_.ok()) return;
+  int workers = options_.workers;
+  if (workers == 0)
+    workers = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  impl_ = std::make_shared<Impl>(index, options_, workers);
+  impl_->pool.reserve(static_cast<std::size_t>(workers));
+  Impl* im = impl_.get();
+  for (int w = 0; w < workers; ++w)
+    impl_->pool.emplace_back([im] { im->worker_main(); });
+}
+
+AlignService::~AlignService() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->shutdown = true;
+    for (auto& core : impl_->live)
+      core->fail(align::Status::internal(
+          "AlignService destroyed before stream finish()"));
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->pool)
+    if (t.joinable()) t.join();
+  impl_->pool.clear();
+  // Outstanding handles keep impl_ alive via their State and observe the
+  // failure; their queues were drained by the pool before it exited.
+}
+
+ServiceStream AlignService::open(const align::DriverOptions& options,
+                                 align::SamSink& sink) {
+  auto state = std::make_unique<ServiceStream::State>();
+  state->impl = impl_;
+  if (!status_.ok()) {
+    state->err = status_;
+    return ServiceStream(std::move(state));
+  }
+  if (align::Status st = align::validate_session(impl_->index, options);
+      !st.ok()) {
+    state->err = st;
+    return ServiceStream(std::move(state));
+  }
+
+  std::shared_ptr<align::SessionCore> core;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (impl_->shutdown) {
+      state->err = align::Status::invalid("open() on a shut-down AlignService");
+    } else if (static_cast<int>(impl_->live.size()) >=
+               impl_->opts.max_streams) {
+      ++impl_->retired.streams_rejected;
+      state->err = align::Status::resource_exhausted(
+          "admission denied: " + std::to_string(impl_->live.size()) + "/" +
+          std::to_string(impl_->opts.max_streams) +
+          " streams already open; retry after a stream finishes");
+    } else if (impl_->reserved_batches + options.queue_depth >
+               impl_->opts.max_inflight_batches) {
+      ++impl_->retired.streams_rejected;
+      state->err = align::Status::resource_exhausted(
+          "admission denied: in-flight batch budget " +
+          std::to_string(impl_->opts.max_inflight_batches) +
+          " would be exceeded (" + std::to_string(impl_->reserved_batches) +
+          " reserved + " + std::to_string(options.queue_depth) +
+          " requested); retry after a stream finishes");
+    } else {
+      impl_->reserved_batches += options.queue_depth;
+      core = std::make_shared<align::SessionCore>(
+          impl_->index, options, sink, impl_->n_workers, &impl_->mu,
+          &impl_->work_cv, impl_);
+      impl_->live.push_back(core);
+      ++impl_->retired.streams_opened;
+      impl_->retired.peak_streams = std::max(
+          impl_->retired.peak_streams, static_cast<int>(impl_->live.size()));
+    }
+  }
+  if (core) {
+    state->core = core;
+    try {
+      sink.write_header(align::sam_header_for(impl_->index, options));
+    } catch (const std::exception& e) {
+      core->fail(align::Status::from_exception(e).with_context("sam-header"));
+    } catch (...) {
+      core->fail(align::Status::internal("unknown error writing SAM header")
+                     .with_context("sam-header"));
+    }
+  }
+  return ServiceStream(std::move(state));
+}
+
+ServiceMetrics AlignService::metrics() const {
+  ServiceMetrics m;
+  if (!impl_) return m;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  m = impl_->retired;
+  m.active_streams = static_cast<int>(impl_->live.size());
+  for (const auto& core : impl_->live) {
+    // Live running totals: records/batches/counters move as batches
+    // complete; a session's read count lands when it finishes.
+    const align::DriverStats s = core->stats_snapshot();
+    const align::StreamMetrics sm = core->metrics_snapshot();
+    m.counters += s.counters;
+    m.records += sm.records;
+    m.batches += sm.batches;
+  }
+  return m;
+}
+
+}  // namespace mem2::serve

@@ -1,0 +1,141 @@
+// AlignService — many concurrent streaming sessions over one shared index
+// and one global worker pool.
+//
+// The standalone Stream (align/aligner.h) spawns a dedicated pool per
+// session, which is wrong for a server: S sessions x W workers oversubscribe
+// the machine, and a session's threads sit idle whenever its client stalls.
+// AlignService inverts the ownership:
+//
+//   clients ──open()──► ServiceStream ──submit──► per-session SessionCore
+//                                                   (bounded queue, ordered
+//                                                    reassembly, sticky Status)
+//                                                        ▲ pop (fair)
+//                 one global worker pool ───────────────┘
+//
+//   - One immutable Mem2Index shared by every session; workers keep one
+//     BatchWorkspace each, reused across sessions (it is option-agnostic).
+//   - Fair scheduling: workers scan the live sessions round-robin from a
+//     rotating cursor, taking at most one batch per pick, so a heavy client
+//     cannot starve the others; each session keeps its own bounded queue
+//     and back-pressure.
+//   - Admission control: open() fails fast with kResourceExhausted — never
+//     blocks — when max_streams sessions are live or when the global
+//     in-flight batch budget (sum of admitted sessions' queue_depth) would
+//     be exceeded.
+//   - Isolation: a session failure (sticky Status, queue drained, sink left
+//     at a batch boundary) is invisible to its siblings; per-session
+//     SwCounters (util::CounterCapture) keep even the observability stats
+//     unpolluted across sessions sharing a worker thread.
+//   - Output is byte-identical to a solo run of the same session because
+//     batch results are chunking/thread-invariant and reassembly is
+//     per-session in submission order; scheduling order cannot show.
+//
+// Thread contract: the service itself is thread-safe (open() and metrics()
+// from anywhere); each ServiceStream follows the Stream contract of one
+// producer thread.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "align/aligner.h"
+
+namespace mem2::serve {
+
+struct ServeOptions {
+  /// Pooled worker threads; 0 means hardware_concurrency.
+  int workers = 0;
+  /// Admission: max concurrently open sessions.
+  int max_streams = 8;
+  /// Admission: global in-flight batch budget.  Each admitted session
+  /// reserves its queue_depth batches; an open() that would push the sum
+  /// past this fails with kResourceExhausted.
+  int max_inflight_batches = 64;
+};
+
+align::Status validate_serve_options(const ServeOptions& options);
+
+/// Service-wide snapshot: admission counters plus aggregates folded from
+/// every finished session and the live ones' running totals.
+struct ServiceMetrics {
+  int active_streams = 0;
+  int peak_streams = 0;
+  std::uint64_t streams_opened = 0;
+  std::uint64_t streams_rejected = 0;   // admission denials
+  std::uint64_t streams_completed = 0;  // finished with ok()
+  std::uint64_t streams_failed = 0;     // finished with a sticky error
+  std::uint64_t reads = 0;
+  std::uint64_t records = 0;
+  std::uint64_t batches = 0;
+  util::SwCounters counters;  // merged per-session counters
+
+  /// One-line rendering for periodic stderr snapshots.
+  std::string summary() const;
+};
+
+/// One admitted session.  Move-only, same producer contract as Stream.
+/// A default-constructed or rejected handle has ok() == false and reports
+/// its admission Status from every call.
+class ServiceStream {
+ public:
+  ServiceStream();  // inert handle: ok() == false
+  ServiceStream(ServiceStream&&) noexcept;
+  ServiceStream& operator=(ServiceStream&&) noexcept;
+  /// Implicitly finishes; call finish() explicitly to observe errors.
+  ~ServiceStream();
+
+  bool ok() const;
+  align::Status status() const;
+
+  align::Status submit(std::vector<seq::Read> chunk);
+  align::Status submit(std::span<const seq::Read> chunk);
+  /// Drain this session's pipeline, flush its sink, release its admission
+  /// reservation and fold its stats into the service aggregates.
+  align::Status finish();
+
+  const align::DriverStats& stats() const;
+  const pair::InsertStats& pair_stats() const;
+  align::StreamMetrics metrics() const;
+
+ private:
+  friend class AlignService;
+  struct State;
+  explicit ServiceStream(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
+class AlignService {
+ public:
+  /// Validates options and starts the worker pool.  Construction never
+  /// throws: check ok()/status() before use.
+  AlignService(const index::Mem2Index& index, ServeOptions options);
+  /// Fails every still-open session, drains their queues and joins the
+  /// pool.  Outstanding ServiceStream handles stay safe to call (they
+  /// co-own the service state) and report the shutdown error.
+  ~AlignService();
+
+  AlignService(const AlignService&) = delete;
+  AlignService& operator=(const AlignService&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const align::Status& status() const { return status_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Admit one streaming session writing to `sink` (which must outlive the
+  /// stream).  Per-session DriverOptions are validated against the shared
+  /// index; over-admission fails fast with kResourceExhausted.  The SAM
+  /// header is written on successful admission.
+  ServiceStream open(const align::DriverOptions& options,
+                     align::SamSink& sink);
+
+  ServiceMetrics metrics() const;
+
+ private:
+  friend class ServiceStream;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  ServeOptions options_;
+  align::Status status_;
+};
+
+}  // namespace mem2::serve

@@ -45,13 +45,57 @@ struct SwCounters {
   std::uint64_t pe_rescued_pairs = 0;   // proper pairs whose chosen region came from rescue
   std::uint64_t pe_proper_pairs = 0;    // pairs emitted with the proper-pair flag
 
+  /// Merge/aggregate helper: sessions sum their per-thread captures with it,
+  /// and the serve layer folds per-session counters into its service-wide
+  /// snapshot.  Field-for-field addition, so bench JSON stays stable.
   SwCounters& operator+=(const SwCounters& o);
+  SwCounters& operator-=(const SwCounters& o);
   void reset() { *this = SwCounters{}; }
   std::string summary() const;
 };
 
+inline SwCounters operator-(SwCounters a, const SwCounters& b) {
+  a -= b;
+  return a;
+}
+
 /// Per-thread counter sink.  Kernels bump the thread-local instance so the
-/// hot paths never touch shared cache lines; drivers aggregate at batch ends.
+/// hot paths never touch shared cache lines.  The sink is *staging only*:
+/// attribution to a session happens through CounterCapture below, never by
+/// reading or resetting the raw TLS value from pipeline code.
 SwCounters& tls_counters();
+
+/// Per-session counter attribution.  A capture saves the thread's staging
+/// counters at a scope entry and take() returns only what accumulated since,
+/// restoring the saved baseline — so two sessions whose batches share one
+/// thread (the serve layer's pooled workers, or a producer thread driving
+/// several Aligners) each harvest exactly their own counts instead of
+/// absorbing or destroying the other's residue.  The old reset()/read
+/// harvest pattern did neither: a reset at a region entry discarded counts a
+/// sibling session had staged on that thread, and residue left after a
+/// harvest leaked into whichever session harvested next.
+class CounterCapture {
+ public:
+  CounterCapture() : saved_(tls_counters()) { tls_counters().reset(); }
+  ~CounterCapture() {
+    if (!taken_) take();
+  }
+  CounterCapture(const CounterCapture&) = delete;
+  CounterCapture& operator=(const CounterCapture&) = delete;
+
+  /// Everything this thread staged since construction; restores the
+  /// baseline so enclosing captures (or callers) see their own counts
+  /// unchanged.  Call at most once.
+  SwCounters take() {
+    SwCounters delta = tls_counters();
+    tls_counters() = saved_;
+    taken_ = true;
+    return delta;
+  }
+
+ private:
+  SwCounters saved_;
+  bool taken_ = false;
+};
 
 }  // namespace mem2::util

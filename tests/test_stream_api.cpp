@@ -240,5 +240,29 @@ TEST(StreamApi, SubmitAfterFinishIsAnError) {
   ASSERT_TRUE(stream.finish().ok());  // idempotent
 }
 
+TEST(StreamApi, MetricsTrackBatchesRecordsAndQueueDepth) {
+  const auto& fx = fixture();
+  DriverOptions opt;
+  opt.mode = Mode::kBatch;
+  opt.batch_size = 16;
+  opt.queue_depth = 2;
+  opt.threads = 2;
+  CollectSamSink sink;
+  const Aligner aligner(fx.index, opt);
+  Stream stream = aligner.open(sink);
+  ASSERT_TRUE(stream.submit(fx.reads).ok());
+  ASSERT_TRUE(stream.finish().ok());
+
+  const StreamMetrics m = stream.metrics();
+  const std::size_t n_batches = (fx.reads.size() + 15) / 16;
+  EXPECT_EQ(m.batches, n_batches);
+  EXPECT_EQ(m.records, sink.records().size());
+  EXPECT_EQ(m.batch_seconds.size(), n_batches);
+  EXPECT_GE(m.queue_hwm, 1u);
+  EXPECT_LE(m.queue_hwm, 2u);  // bounded by queue_depth
+  EXPECT_GE(m.p99(), m.p50());
+  EXPECT_GT(m.p50(), 0.0);
+}
+
 }  // namespace
 }  // namespace mem2::align

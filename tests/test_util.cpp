@@ -169,5 +169,61 @@ TEST(SwCounters, AggregationAndReset) {
   EXPECT_NE(a.summary().find("occ_bucket_loads=0"), std::string::npos);
 }
 
+TEST(SwCounters, Subtraction) {
+  SwCounters a, b;
+  a.occ_bucket_loads = 12;
+  a.smems_found = 4;
+  b.occ_bucket_loads = 5;
+  const SwCounters d = a - b;
+  EXPECT_EQ(d.occ_bucket_loads, 7u);
+  EXPECT_EQ(d.smems_found, 4u);
+}
+
+TEST(CounterCapture, TakeReturnsDeltaAndRestoresBaseline) {
+  // A worker thread serving session A must not leak A's counts into
+  // session B's capture when it picks up B's batch next: take() yields
+  // only the work done inside the capture scope and puts the thread's
+  // prior tally back.
+  tls_counters().reset();
+  tls_counters().occ_bucket_loads = 5;
+  {
+    CounterCapture capture;
+    EXPECT_EQ(tls_counters().occ_bucket_loads, 0u);  // scope starts clean
+    tls_counters().occ_bucket_loads += 7;
+    tls_counters().bsw_pairs += 3;
+    const SwCounters delta = capture.take();
+    EXPECT_EQ(delta.occ_bucket_loads, 7u);
+    EXPECT_EQ(delta.bsw_pairs, 3u);
+  }
+  // Baseline restored: the 5 pre-existing loads survive, the 7 do not.
+  EXPECT_EQ(tls_counters().occ_bucket_loads, 5u);
+  EXPECT_EQ(tls_counters().bsw_pairs, 0u);
+
+  // Nested captures: the inner take() must not disturb the outer delta.
+  {
+    CounterCapture outer;
+    tls_counters().smems_found += 2;
+    {
+      CounterCapture inner;
+      tls_counters().smems_found += 9;
+      EXPECT_EQ(inner.take().smems_found, 9u);
+    }
+    EXPECT_EQ(outer.take().smems_found, 2u);
+  }
+  EXPECT_EQ(tls_counters().occ_bucket_loads, 5u);
+  tls_counters().reset();
+}
+
+TEST(CounterCapture, DestructorWithoutTakeRestoresBaseline) {
+  tls_counters().reset();
+  tls_counters().occ_bucket_loads = 2;
+  {
+    CounterCapture capture;
+    tls_counters().occ_bucket_loads += 100;  // abandoned (e.g. error path)
+  }
+  EXPECT_EQ(tls_counters().occ_bucket_loads, 2u);
+  tls_counters().reset();
+}
+
 }  // namespace
 }  // namespace mem2::util
