@@ -154,6 +154,43 @@ int main(int argc, char** argv) {
   }
   const auto sm = service.metrics();
 
+  // --- Admission-queueing phase: a quarter of the stream slots with FIFO
+  // queueing on, so most opens wait for capacity — measures the admission
+  // queue wait (ServiceMetrics p50/p99) under contention.  Short truncated
+  // workloads: this phase times the queue, not the alignment. ---
+  serve::ServeOptions qopt;
+  qopt.workers = workers;
+  qopt.max_streams = std::max(1, n_streams / 4);
+  qopt.max_inflight_batches = 8 * n_streams;
+  qopt.admission_timeout_ms = 600000;  // effectively "wait for a slot"
+  qopt.max_pending_opens = n_streams;
+  serve::AlignService qservice(index, qopt);
+  bench::require_ok(qservice.status());
+  std::vector<align::CollectSamSink> qsinks(specs.size());
+  std::vector<ClientSpec> qspecs;
+  for (const auto& spec : specs) {
+    ClientSpec small;
+    small.name = spec.name;
+    small.paired = spec.paired;
+    const std::size_t n = std::min<std::size_t>(1024, spec.reads.size());
+    small.reads.assign(spec.reads.begin(),
+                       spec.reads.begin() + static_cast<std::ptrdiff_t>(n));
+    qspecs.push_back(std::move(small));
+  }
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(qspecs.size());
+    for (std::size_t s = 0; s < qspecs.size(); ++s)
+      clients.emplace_back([&, s] {
+        serve::ServiceStream stream =
+            qservice.open(client_options(qspecs[s], 1), qsinks[s]);
+        bench::require_ok(stream.status());
+        bench::require_ok(drive(qspecs[s], stream));
+      });
+    for (auto& c : clients) c.join();
+  }
+  const auto qm = qservice.metrics();
+
   // --- Verdicts ---
   bool identical = true;
   for (std::size_t s = 0; s < specs.size(); ++s)
@@ -190,6 +227,11 @@ int main(int argc, char** argv) {
       "%.2fx (gate %s0.90), fairness spread %.2fx, %s\n",
       solo_total, service_wall, ratio, smoke ? "[smoke, advisory] " : ">= ",
       spread, sm.summary().c_str());
+  std::printf(
+      "  admission phase (%d slots, queueing on): %llu of %d opens queued, "
+      "wait p50 %.1fms p99 %.1fms\n",
+      qopt.max_streams, static_cast<unsigned long long>(qm.streams_queued),
+      n_streams, 1e3 * qm.admission_wait_p50(), 1e3 * qm.admission_wait_p99());
 
   if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"smoke\": %s,\n",
@@ -205,6 +247,13 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"service_reads_per_sec\": %.1f,\n",
                  service_wall > 0 ? static_cast<double>(reads_total) / service_wall : 0);
     std::fprintf(f, "  \"fairness_spread\": %.4f,\n", spread);
+    std::fprintf(f,
+                 "  \"admission\": {\"max_streams\": %d, \"opens\": %d, "
+                 "\"queued\": %llu, \"wait_p50_seconds\": %.6f, "
+                 "\"wait_p99_seconds\": %.6f},\n",
+                 qopt.max_streams, n_streams,
+                 static_cast<unsigned long long>(qm.streams_queued),
+                 qm.admission_wait_p50(), qm.admission_wait_p99());
     std::fprintf(f, "  \"outputs_identical_to_solo\": %s,\n",
                  identical ? "true" : "false");
     std::fprintf(f, "  \"per_stream\": [\n");

@@ -12,11 +12,13 @@
 #include <cerrno>
 #include <chrono>
 #include <climits>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "align/aligner.h"
@@ -61,6 +63,20 @@ int usage() {
       "      --max-streams N   admission: max concurrent sessions (default 8)\n"
       "      --max-inflight N  admission: global in-flight batch budget\n"
       "                        (default 64)\n"
+      "      --admission-timeout-ms N\n"
+      "                        queue over-capacity opens FIFO for up to N ms\n"
+      "                        instead of failing fast (default 0: fail fast)\n"
+      "      --max-pending N   bound on queued opens (default 16)\n"
+      "      --batch-stall-ms N\n"
+      "                        watchdog: cancel a session whose in-flight\n"
+      "                        batch makes no progress for N ms (default 0:\n"
+      "                        off); cancelled sessions exit with code 7\n"
+      "      --shutdown-grace-ms N\n"
+      "                        on SIGINT/SIGTERM, wait N ms for streams to\n"
+      "                        drain before cancelling them (default 5000)\n"
+      "      --cancel-after-ms N\n"
+      "                        cancel every stream after N ms (testing the\n"
+      "                        exit-8 contract; default 0: off)\n"
       "      --metrics-interval S\n"
       "                        print a service metrics snapshot to stderr\n"
       "                        every S seconds (default: off)\n"
@@ -69,7 +85,8 @@ int usage() {
       "  mem2_cli wgsim-pe <ref.fasta> <out1.fastq> <out2.fastq> <n_pairs>"
       " <read_len> [insert_mean] [insert_std] [seed]\n"
       "exit codes: 2 usage/invalid argument, 3 I/O error, 4 data corruption,"
-      " 5 internal error, 6 resource exhausted (admission denied)\n";
+      " 5 internal error, 6 resource exhausted (admission denied),"
+      " 7 deadline exceeded (watchdog), 8 cancelled\n";
   return 2;
 }
 
@@ -82,8 +99,18 @@ int exit_code(align::ErrorCode code) {
     case align::ErrorCode::kDataCorruption: return 4;
     case align::ErrorCode::kInternal: return 5;
     case align::ErrorCode::kResourceExhausted: return 6;
+    case align::ErrorCode::kDeadlineExceeded: return 7;
+    case align::ErrorCode::kCancelled: return 8;
   }
   return 5;
+}
+
+/// Set by the SIGINT/SIGTERM handler; cmd_serve's clients stop submitting
+/// at their next chunk boundary and finish cleanly (valid SAM, exit 0).
+std::atomic<int> g_signal{0};
+
+extern "C" void handle_shutdown_signal(int sig) {
+  g_signal.store(sig, std::memory_order_release);
 }
 
 int fail(const align::Status& st) {
@@ -296,18 +323,25 @@ align::Status run_client(serve::ServiceStream& stream, const StreamSpec& spec,
     st = stream.submit(std::move(chunk));
     return st.ok();
   };
+  // SIGINT/SIGTERM: stop submitting at the next chunk boundary and fall
+  // through to finish(), which drains and flushes — the SAM written is a
+  // valid prefix and the process exits 0.
+  const auto interrupted = [] {
+    return g_signal.load(std::memory_order_acquire) != 0;
+  };
   try {
     std::vector<seq::Read> chunk;
     if (!spec.fq2.empty()) {
       io::PairedFastqStream paired(spec.fq1, spec.fq2, spec.ingest);
       const auto per_chunk = static_cast<std::size_t>(opt.batch_size) / 2;
-      while (paired.next_chunk(chunk, per_chunk) > 0) {
+      while (!interrupted() && paired.next_chunk(chunk, per_chunk) > 0) {
         if (!submit(std::move(chunk))) return st;
         chunk = {};
       }
     } else {
       io::FastqStream fastq(spec.fq1, spec.ingest);
-      while (fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
+      while (!interrupted() &&
+             fastq.next_chunk(chunk, static_cast<std::size_t>(opt.batch_size)) > 0) {
         if (!submit(std::move(chunk))) return st;
         chunk = {};
       }
@@ -325,6 +359,8 @@ int cmd_serve(int argc, char** argv) {
   serve::ServeOptions sopt;
   int batch_size = 512;
   long long metrics_interval = 0;
+  long long shutdown_grace_ms = 5000;
+  long long cancel_after_ms = 0;
   long long v = 0;
   int i = 0;
   for (; i < argc && argv[i][0] == '-'; ++i) {
@@ -340,6 +376,25 @@ int cmd_serve(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--max-inflight") && i + 1 < argc) {
       if (!parse_arg("--max-inflight", argv[++i], 1, INT_MAX, v)) return usage();
       sopt.max_inflight_batches = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--admission-timeout-ms") && i + 1 < argc) {
+      if (!parse_arg("--admission-timeout-ms", argv[++i], 0, INT_MAX, v))
+        return usage();
+      sopt.admission_timeout_ms = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--max-pending") && i + 1 < argc) {
+      if (!parse_arg("--max-pending", argv[++i], 0, INT_MAX, v)) return usage();
+      sopt.max_pending_opens = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--batch-stall-ms") && i + 1 < argc) {
+      if (!parse_arg("--batch-stall-ms", argv[++i], 0, INT_MAX, v))
+        return usage();
+      sopt.batch_stall_ms = static_cast<int>(v);
+    } else if (!std::strcmp(argv[i], "--shutdown-grace-ms") && i + 1 < argc) {
+      if (!parse_arg("--shutdown-grace-ms", argv[++i], 0, INT_MAX, v))
+        return usage();
+      shutdown_grace_ms = v;
+    } else if (!std::strcmp(argv[i], "--cancel-after-ms") && i + 1 < argc) {
+      if (!parse_arg("--cancel-after-ms", argv[++i], 0, INT_MAX, v))
+        return usage();
+      cancel_after_ms = v;
     } else if (!std::strcmp(argv[i], "--metrics-interval") && i + 1 < argc) {
       if (!parse_arg("--metrics-interval", argv[++i], 1, 3600, v))
         return usage();
@@ -370,12 +425,14 @@ int cmd_serve(int argc, char** argv) {
             << " pooled worker(s), max " << sopt.max_streams << " streams / "
             << sopt.max_inflight_batches << " in-flight batches\n";
 
-  // Open every client up front — admission failures surface before any
-  // alignment work starts, with the documented exit code.
+  // Output files and per-stream options are prepared up front so file
+  // errors surface before any alignment work; the streams themselves are
+  // opened inside each client thread — that way a queued open (with
+  // --admission-timeout-ms) is admitted when an earlier stream finishes
+  // instead of waiting on sessions that cannot start yet.
   std::vector<std::ofstream> outs;
   outs.reserve(specs.size());  // sinks hold references: no reallocation
   std::vector<std::unique_ptr<align::OstreamSamSink>> sinks;
-  std::vector<serve::ServiceStream> streams;
   std::vector<align::DriverOptions> opts;
   for (const StreamSpec& spec : specs) {
     align::DriverOptions opt;
@@ -386,14 +443,10 @@ int cmd_serve(int argc, char** argv) {
     if (!outs.back())
       return fail(align::Status::io("cannot open output file: " + spec.out));
     sinks.push_back(std::make_unique<align::OstreamSamSink>(outs.back()));
-    serve::ServiceStream stream = service.open(opt, *sinks.back());
-    if (!stream.ok()) {
-      std::cerr << "mem2: stream '" << spec.out << "': ";
-      return fail(stream.status());
-    }
-    streams.push_back(std::move(stream));
     opts.push_back(opt);
   }
+  std::vector<std::unique_ptr<serve::ServiceStream>> streams(specs.size());
+  std::mutex streams_mu;  // guards slot assignment vs the cancel hook
 
   util::Timer t;
   std::atomic<bool> done{false};
@@ -408,25 +461,69 @@ int cmd_serve(int argc, char** argv) {
     });
   }
 
+  // Graceful SIGINT/SIGTERM: clients see g_signal and stop at a chunk
+  // boundary; this watcher additionally runs service shutdown so a client
+  // wedged in back-pressure is cancelled after the grace period instead of
+  // hanging the process.
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::thread sigwatch([&] {
+    while (!done.load(std::memory_order_acquire) &&
+           g_signal.load(std::memory_order_acquire) == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (done.load(std::memory_order_acquire)) return;
+    const int sig = g_signal.load(std::memory_order_acquire);
+    std::cerr << "[mem2] caught signal " << sig << "; draining (grace "
+              << shutdown_grace_ms << "ms)...\n";
+    const align::Status st =
+        service.shutdown(std::chrono::milliseconds(shutdown_grace_ms));
+    if (!st.ok())
+      std::cerr << "[mem2] shutdown: " << st.to_string() << '\n';
+  });
+
+  // Test hook for the exit-8 contract: cancel every stream after a delay.
+  std::thread canceller;
+  if (cancel_after_ms > 0)
+    canceller = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(cancel_after_ms));
+      if (done.load(std::memory_order_acquire)) return;
+      std::lock_guard<std::mutex> lk(streams_mu);
+      for (auto& stream : streams)
+        if (stream) stream->cancel();
+    });
+
   std::vector<align::Status> results(specs.size());
   std::vector<std::thread> clients;
   clients.reserve(specs.size());
   for (std::size_t s = 0; s < specs.size(); ++s)
     clients.emplace_back([&, s] {
-      results[s] = run_client(streams[s], specs[s], opts[s]);
+      auto stream = std::make_unique<serve::ServiceStream>(
+          service.open(opts[s], *sinks[s]));
+      serve::ServiceStream* raw = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(streams_mu);
+        raw = (streams[s] = std::move(stream)).get();
+      }
+      if (!raw->ok()) {
+        results[s] = raw->status();
+        return;
+      }
+      results[s] = run_client(*raw, specs[s], opts[s]);
     });
   for (auto& c : clients) c.join();
   done.store(true, std::memory_order_release);
   if (reporter.joinable()) reporter.join();
+  if (sigwatch.joinable()) sigwatch.join();
+  if (canceller.joinable()) canceller.join();
 
   align::Status first_error;
   for (std::size_t s = 0; s < specs.size(); ++s) {
     const auto& st = results[s];
     if (st.ok()) {
       std::cerr << "[mem2] stream '" << specs[s].out << "': "
-                << streams[s].stats().reads << " reads -> "
-                << streams[s].metrics().records << " records (queue hwm "
-                << streams[s].metrics().queue_hwm << ")\n";
+                << streams[s]->stats().reads << " reads -> "
+                << streams[s]->metrics().records << " records (queue hwm "
+                << streams[s]->metrics().queue_hwm << ")\n";
     } else {
       std::cerr << "[mem2] stream '" << specs[s].out
                 << "' failed: " << st.to_string() << '\n';

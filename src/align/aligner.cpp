@@ -75,6 +75,11 @@ Status Stream::finish() {
   return im.core->snapshot_status();
 }
 
+void Stream::cancel() {
+  impl_->core->cancel(
+      Status::cancelled("stream cancelled by caller").with_context("cancel"));
+}
+
 Status Stream::status() const { return impl_->core->snapshot_status(); }
 
 const DriverStats& Stream::stats() const { return impl_->core->stats(); }

@@ -67,6 +67,14 @@ class Stream {
   /// and flush the sink.  Idempotent; returns the final session status.
   Status finish();
 
+  /// Cooperatively cancel the session: the sticky status becomes kCancelled,
+  /// a submit() blocked on back-pressure returns immediately, queued batches
+  /// are discarded, and the in-flight batch aborts at its next stage
+  /// boundary — so the sink is left at a batch boundary (the SAM written so
+  /// far is a byte-identical prefix of the full run).  Safe from any thread,
+  /// idempotent; call finish() afterwards to join the workers as usual.
+  void cancel();
+
   /// Current session status (sticky first error).
   Status status() const;
 

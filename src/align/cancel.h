@@ -1,0 +1,92 @@
+// Cooperative cancellation for streaming sessions.
+//
+// One CancelToken lives inside each SessionCore.  Cancellation is
+// level-triggered and carries a reason Status (kCancelled from
+// Stream::cancel(), kDeadlineExceeded from the serve watchdog / shutdown):
+// the canceller sets the token *and* the session's sticky Status, which
+// unblocks a producer parked in submit() and makes workers skip queued
+// batches.  The token's own job is the in-flight batch: pipeline_batch.cpp
+// calls checkpoint() at stage boundaries, which doubles as the watchdog's
+// progress heartbeat and throws cancelled_error once the token is set — so
+// a long batch aborts within one stage instead of running to completion,
+// and the ordered writer (which never parks a failed batch) keeps the sink
+// at a batch boundary.
+//
+// Heartbeats are monotonic-clock timestamps through the injectable
+// util::Clock, so watchdog tests drive "the batch stalled" with a FakeClock
+// instead of real sleeps.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "align/status.h"
+#include "util/clock.h"
+
+namespace mem2::align {
+
+class CancelToken {
+ public:
+  explicit CancelToken(util::Clock* clock = nullptr)
+      : clock_(clock ? clock : &util::Clock::real()) {
+    beat();
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// First reason wins; wakes anyone parked in wait_cancelled().
+  void cancel(Status reason) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!cancelled_.load(std::memory_order_relaxed))
+        reason_ = std::move(reason);
+      cancelled_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  /// The cancel reason; a generic kCancelled when not (yet) cancelled.
+  Status reason() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cancelled_.load(std::memory_order_relaxed)
+               ? reason_
+               : Status::cancelled("not cancelled");
+  }
+
+  /// Record batch progress (the watchdog's liveness signal).
+  void beat() {
+    last_beat_ns_.store(clock_->now().time_since_epoch().count(),
+                        std::memory_order_release);
+  }
+
+  util::Clock::time_point last_beat() const {
+    return util::Clock::time_point(std::chrono::steady_clock::duration(
+        last_beat_ns_.load(std::memory_order_acquire)));
+  }
+
+  /// Stage-boundary check: heartbeat, then abort the batch if cancelled.
+  void checkpoint() {
+    beat();
+    if (MEM2_UNLIKELY(cancelled())) throw cancelled_error("batch cancelled");
+  }
+
+  /// Block until cancelled — used by the injected align.worker.stall fault
+  /// to model a wedged batch that stays cancellable.
+  void wait_cancelled() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return cancelled_.load(std::memory_order_acquire); });
+  }
+
+ private:
+  util::Clock* clock_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> last_beat_ns_{0};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Status reason_;
+};
+
+}  // namespace mem2::align

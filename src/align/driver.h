@@ -33,10 +33,13 @@
 #include "io/sam.h"
 #include "pair/insert_stats.h"
 #include "seq/read_sim.h"
+#include "util/retry.h"
 #include "util/sw_counters.h"
 #include "util/timer.h"
 
 namespace mem2::align {
+
+class CancelToken;  // align/cancel.h
 
 enum class Mode { kBaseline, kBatch };
 
@@ -78,6 +81,12 @@ struct DriverOptions {
   /// the scan-everything behavior — output with skipping off is
   /// byte-identical to the pre-skip driver).
   pair::PairOptions pe;
+  /// Transient-failure policy for sink writes (util/retry.h): with
+  /// max_attempts > 1 the session's ordered writer re-drives a failed bulk
+  /// write (OstreamSamSink rewrites the same formatted batch after clearing
+  /// the stream state) with bounded exponential backoff before surfacing
+  /// kIoError.  Default is 1 = no retry, today's fail-stop behavior.
+  util::RetryPolicy sink_retry;
 
   int effective_bsw_threads() const {
     return bsw_threads > 0 ? bsw_threads : threads;
@@ -144,11 +153,15 @@ class BatchWorkspace {
 /// (validate_driver_options) — the Aligner session does this once.
 /// In paired mode pe_stats (the session-wide insert-size prior) is
 /// required and reads.size() must be even.
+/// `cancel`, when non-null, is checked at batch and stage boundaries
+/// (heartbeat + cooperative abort): once the token is cancelled the call
+/// throws cancelled_error without starting another stage, so at most the
+/// current stage of the current batch runs to completion.
 void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads,
                  const DriverOptions& options, const pair::InsertStats* pe_stats,
                  BatchWorkspace& workspace,
                  std::vector<std::vector<io::SamRecord>>& per_read,
-                 DriverStats* stats);
+                 DriverStats* stats, CancelToken* cancel = nullptr);
 inline void align_chunk(const index::Mem2Index& index,
                         std::span<const seq::Read> reads,
                         const DriverOptions& options, BatchWorkspace& workspace,

@@ -50,7 +50,14 @@ Status validate_driver_options(const DriverOptions& options) {
           "bsw_threads must be >= 0 (0 follows threads)",
           options.pipeline_workers >= 0,
           "pipeline_workers must be >= 0 (0 follows threads)",
-          options.queue_depth >= 1, "queue depth must be >= 1");
+          options.queue_depth >= 1, "queue depth must be >= 1",
+          options.sink_retry.max_attempts >= 1,
+          "sink_retry.max_attempts must be >= 1 (1 = no retry)",
+          options.sink_retry.initial_backoff.count() >= 0 &&
+              options.sink_retry.max_backoff.count() >= 0,
+          "sink_retry backoffs must be >= 0",
+          options.sink_retry.backoff_multiplier >= 1.0,
+          "sink_retry.backoff_multiplier must be >= 1");
       !st.ok())
     return st;
   if (!options.paired) return Status();

@@ -34,6 +34,7 @@
 
 #include <algorithm>
 
+#include "align/cancel.h"
 #include "align/driver.h"
 #include "align/sam_format.h"
 #include "bsw/bsw_executor.h"
@@ -187,6 +188,13 @@ BatchWorkspace& BatchWorkspace::operator=(BatchWorkspace&&) noexcept = default;
 
 namespace {
 
+/// Stage-boundary cancellation hook: heartbeat + cooperative abort.  Never
+/// called from inside an OpenMP region — always between stages on the
+/// orchestrating thread, so an abort unwinds cleanly past joined regions.
+inline void stage_checkpoint(CancelToken* cancel) {
+  if (cancel) cancel->checkpoint();
+}
+
 /// The single-end stages over one batch [batch_beg, batch_beg + nb):
 /// encode, SMEM, SAL, CHAIN, the four pooled BSW rounds, and the replayed
 /// decision logic, leaving each read's post-processed region list in
@@ -196,7 +204,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
                    std::size_t batch_beg, int nb, const DriverOptions& options,
                    BatchWorkspace::Impl& ws, bool emit_sam,
                    std::vector<std::vector<io::SamRecord>>* per_read,
-                   DriverStats* stats) {
+                   DriverStats* stats, CancelToken* cancel = nullptr) {
   const util::PrefetchPolicy prefetch{options.prefetch};
   const int n_threads = options.threads;
   std::vector<util::StageTimes>& thread_stages = ws.thread_stages;
@@ -252,6 +260,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     }
     guard.rethrow();
   }
+  stage_checkpoint(cancel);
 
   // --- SMEM stage (whole batch): each thread takes a group of reads and
   // runs smem_inflight walks in lockstep on its SmemExecutor, so one
@@ -339,6 +348,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     thread_counters[static_cast<std::size_t>(tid)] += capture.take();
   }
   guard.rethrow();
+  stage_checkpoint(cancel);
 
   // --- BSW stage: four pooled SIMD rounds.  Both halves run parallel:
   // job enumeration builds contiguous per-block lists spliced in read
@@ -385,6 +395,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
         entry.have[ref.side][ref.bt] = true;
       }
       if (stats) stats->extensions_computed += jobs.size();
+      stage_checkpoint(cancel);  // between pooled rounds
     };
 
     // Round L1.
@@ -497,6 +508,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     thread_counters[static_cast<std::size_t>(tid)] += capture.take();
   }
   guard.rethrow();
+  stage_checkpoint(cancel);
 
   if (stats) {
     std::uint64_t used = 0;
@@ -511,7 +523,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
                       std::size_t batch_beg, int nb, const DriverOptions& options,
                       const pair::InsertStats& pes, BatchWorkspace::Impl& ws,
                       std::vector<std::vector<io::SamRecord>>& per_read,
-                      DriverStats* stats) {
+                      DriverStats* stats, CancelToken* cancel = nullptr) {
   const pair::PairOptions& popt = options.pe;
   const MemOptions& mopt = options.mem;
   const idx_t l_pac = index.l_pac();
@@ -681,6 +693,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
     });
   }
   guard.rethrow();
+  stage_checkpoint(cancel);
 
   // Splice attempts in block (= pair) order, rebasing intra-block dup_of
   // references onto the spliced list; build per-pair offsets.
@@ -808,6 +821,7 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   // The executor reduced its worker counters onto this thread's TLS sink.
   ws.thread_counters[0] += capture.take();
   st0[util::Stage::kPair] += pair_timer.seconds();
+  stage_checkpoint(cancel);
 
   // --- Finalize: splice rescue hits into the mates' region lists, pair,
   // and emit paired SAM — read-parallel per pair. ---
@@ -903,7 +917,8 @@ void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads
                  const DriverOptions& options, const pair::InsertStats* pe_stats,
                  BatchWorkspace& workspace,
                  std::vector<std::vector<io::SamRecord>>& per_read,
-                 DriverStats* stats) {
+                 DriverStats* stats, CancelToken* cancel) {
+  stage_checkpoint(cancel);
   if (options.mode == Mode::kBaseline) {
     align_reads_baseline(index, reads, options, per_read, stats);
     return;
@@ -921,11 +936,12 @@ void align_chunk(const index::Mem2Index& index, std::span<const seq::Read> reads
 
   BatchWorkspace::Impl& ws = workspace.impl();
   for_each_batch(reads, options, ws, [&](std::size_t batch_beg, int nb) {
+    stage_checkpoint(cancel);  // batch boundary
     batch_regions(index, reads, batch_beg, nb, options, ws,
-                  /*emit_sam=*/!options.paired, &per_read, stats);
+                  /*emit_sam=*/!options.paired, &per_read, stats, cancel);
     if (options.paired)
       batch_pair_stage(index, reads, batch_beg, nb, options, *pe_stats, ws,
-                       per_read, stats);
+                       per_read, stats, cancel);
   });
 
   if (stats) {

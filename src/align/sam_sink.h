@@ -30,6 +30,17 @@ class SamSink {
     for (const auto& rec : records) write_record(rec);
   }
   virtual void flush() {}
+
+  /// Transient-failure support for the session's retry policy
+  /// (DriverOptions::sink_retry).  A sink that can re-drive its last failed
+  /// bulk write — atomically, from a retained buffer — returns true here
+  /// and implements retry_write(); the session then retries a failed
+  /// write_records() with bounded backoff instead of failing the stream.
+  virtual bool can_retry_writes() const { return false; }
+  /// Re-attempt the last failed write_records() batch; throws (the same
+  /// error family as write_records) if the attempt fails again.  Only
+  /// called after write_records() threw and can_retry_writes() is true.
+  virtual void retry_write() {}
 };
 
 /// Formats records as SAM text lines onto an ostream (e.g. std::cout).
@@ -60,14 +71,21 @@ class OstreamSamSink final : public SamSink {
       buf_ += rec.to_line();
       buf_ += '\n';
     }
-    if (util::fault_point("sam.write")) out_.setstate(std::ios::badbit);
-    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-    records_written_ += records.size();
-    check();
+    buf_records_ = records.size();
+    commit_buf();
   }
   void flush() override {
     out_.flush();
     check();
+  }
+
+  /// The formatted batch is retained in buf_ across a failed commit, and a
+  /// bad stream discards the whole write, so re-driving it after clearing
+  /// the error state is atomic at this API's all-or-nothing granularity.
+  bool can_retry_writes() const override { return true; }
+  void retry_write() override {
+    out_.clear();  // drop the failed attempt's badbit/failbit
+    commit_buf();
   }
 
   std::uint64_t records_written() const { return records_written_; }
@@ -79,8 +97,18 @@ class OstreamSamSink final : public SamSink {
           "SAM output stream write failed (disk full or closed pipe?)");
   }
 
+  /// Write the retained batch buffer; counts records only on success so a
+  /// failed-then-retried batch is never double-counted.
+  void commit_buf() {
+    if (util::fault_point("sam.write")) out_.setstate(std::ios::badbit);
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    check();
+    records_written_ += buf_records_;
+  }
+
   std::ostream& out_;
   std::string buf_;  // batch formatting buffer, capacity reused
+  std::size_t buf_records_ = 0;
   std::uint64_t records_written_ = 0;
 };
 

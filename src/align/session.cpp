@@ -25,6 +25,7 @@
 #include "pair/pairing.h"
 #include "util/common.h"
 #include "util/fault_injector.h"
+#include "util/retry.h"
 
 namespace mem2::align {
 
@@ -56,12 +57,14 @@ Status validate_session(const index::Mem2Index& index,
 SessionCore::SessionCore(const index::Mem2Index& index, DriverOptions options,
                          SamSink& sink, int pool_size, std::mutex* shared_mu,
                          std::condition_variable* shared_work_cv,
-                         std::shared_ptr<void> keep_alive)
+                         std::shared_ptr<void> keep_alive, util::Clock* clock)
     : index_(index),
       options_(std::move(options)),
       worker_options_(options_),
       sink_(sink),
       keep_alive_(std::move(keep_alive)),
+      clock_(clock ? clock : &util::Clock::real()),
+      cancel_token_(clock_),
       q_mu_(shared_mu ? shared_mu : &own_mu_),
       work_cv_(shared_work_cv ? shared_work_cv : &own_work_cv_) {
   // With several workers available the parallelism comes from concurrent
@@ -78,6 +81,14 @@ void SessionCore::fail(Status st) {
   }
   failed_.store(true, std::memory_order_release);
   q_not_full_.notify_all();
+}
+
+void SessionCore::cancel(Status reason) {
+  // Order matters: the sticky status must be set before the token fires so
+  // a checkpoint-aborted worker that calls fail(from_exception) can never
+  // overwrite the cancel reason with the generic cancelled_error mapping.
+  fail(reason);
+  cancel_token_.cancel(std::move(reason));
 }
 
 Status SessionCore::snapshot_status() const {
@@ -112,7 +123,7 @@ Status SessionCore::enqueue(SessionWorkItem item) {
   });
   if (failed_.load(std::memory_order_acquire)) return snapshot_status();
   item.seq = next_seq_++;
-  item.enqueued = std::chrono::steady_clock::now();
+  item.enqueued = clock_->now();
   queue_.push_back(std::move(item));
   if (queue_.size() > queue_hwm_.load(std::memory_order_relaxed))
     queue_hwm_.store(queue_.size(), std::memory_order_relaxed);
@@ -274,6 +285,7 @@ SessionWorkItem SessionCore::pop_locked() {
   SessionWorkItem item = std::move(queue_.front());
   queue_.pop_front();
   ++in_flight_;
+  cancel_token_.beat();  // the watchdog's "work started" heartbeat
   q_not_full_.notify_one();
   return item;
 }
@@ -293,10 +305,17 @@ void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
     try {
       if (util::fault_point("align.worker"))
         throw invariant_error("injected fault: align.worker");
+      if (util::fault_point("align.worker.stall")) {
+        // Models a wedged batch: block until the session is cancelled (by
+        // Stream::cancel(), the serve watchdog, or shutdown), then abort
+        // cooperatively — the stall stays cancellable, never un-joinable.
+        cancel_token_.wait_cancelled();
+        throw cancelled_error("injected stall: align.worker.stall");
+      }
       std::vector<std::vector<io::SamRecord>> per_read;
       align_chunk(index_, item.reads, worker_options_,
                   options_.paired ? &pe_stats_ : nullptr, workspace, per_read,
-                  &batch_stats);
+                  &batch_stats, &cancel_token_);
 
       std::size_t total = 0;
       for (const auto& v : per_read) total += v.size();
@@ -313,6 +332,7 @@ void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
                              first_read));
     }
 
+    std::uint64_t write_retries = 0;
     if (aligned) {
       try {
         // Ordered emit: park the batch, then drain every consecutive
@@ -324,7 +344,27 @@ void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
              it = pending_.find(next_emit_)) {
           if (!failed_.load(std::memory_order_acquire)) {
             const std::size_t n = it->second.size();
-            sink_.write_records(std::move(it->second));
+            // Transient write failures (io_error only) are re-driven with
+            // bounded backoff when the policy and the sink allow it; the
+            // sink rewrites its retained batch buffer, so a retried batch
+            // reaches the output exactly once.  Exhausted retries rethrow
+            // the last io_error into the sam-emit failure path below.
+            util::RetryPolicy policy = options_.sink_retry;
+            if (!sink_.can_retry_writes()) policy.max_attempts = 1;
+            auto& sink = sink_;
+            auto& records = it->second;
+            const int attempts = util::with_retry(
+                policy,
+                [&](int attempt) {
+                  if (attempt == 1)
+                    sink.write_records(std::move(records));
+                  else
+                    sink.retry_write();
+                },
+                [](const std::exception& e) {
+                  return dynamic_cast<const io_error*>(&e) != nullptr;
+                });
+            write_retries += static_cast<std::uint64_t>(attempts - 1);
             records_written_ += n;
           }
           pending_.erase(it);
@@ -338,13 +378,13 @@ void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
       }
     }
 
-    const double latency = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - item.enqueued)
-                               .count();
+    const double latency =
+        std::chrono::duration<double>(clock_->now() - item.enqueued).count();
     {
       std::lock_guard<std::mutex> lk(state_mu_);
       stats_ += batch_stats;
       ++metrics_.batches;
+      metrics_.write_retries += write_retries;
       if (metrics_.batch_seconds.size() < StreamMetrics::kMaxSamples)
         metrics_.batch_seconds.push_back(latency);
     }

@@ -30,9 +30,11 @@
 #include <span>
 #include <vector>
 
+#include "align/cancel.h"
 #include "align/driver.h"
 #include "align/sam_sink.h"
 #include "align/status.h"
+#include "util/clock.h"
 
 namespace mem2::align {
 
@@ -51,6 +53,7 @@ struct SessionWorkItem {
 struct StreamMetrics {
   std::uint64_t batches = 0;         // batches fully processed
   std::uint64_t records = 0;         // SAM records written to the sink
+  std::uint64_t write_retries = 0;   // transient sink-write retries absorbed
   std::size_t queue_hwm = 0;         // max batches ever waiting in the queue
   std::vector<double> batch_seconds; // latency sample (capped; see kMaxSamples)
   static constexpr std::size_t kMaxSamples = 1 << 16;
@@ -74,10 +77,13 @@ class SessionCore {
   /// cores pass null `shared_mu`/`shared_work_cv` and own both; service
   /// cores receive the pool's.  `keep_alive` pins whatever owns the shared
   /// mutex (the service Impl) so a handle outliving the service stays safe.
+  /// `clock` (null = real) drives batch latency timestamps and the cancel
+  /// token's heartbeats, so deadline behavior is testable with a FakeClock.
   SessionCore(const index::Mem2Index& index, DriverOptions options,
               SamSink& sink, int pool_size, std::mutex* shared_mu = nullptr,
               std::condition_variable* shared_work_cv = nullptr,
-              std::shared_ptr<void> keep_alive = nullptr);
+              std::shared_ptr<void> keep_alive = nullptr,
+              util::Clock* clock = nullptr);
 
   SessionCore(const SessionCore&) = delete;
   SessionCore& operator=(const SessionCore&) = delete;
@@ -105,6 +111,13 @@ class SessionCore {
   // --- Shared state ---
 
   void fail(Status st);
+  /// Cooperative cancellation: records `reason` as the sticky status (first
+  /// error wins), marks the cancel token so the in-flight batch aborts at
+  /// its next stage checkpoint, and wakes a producer blocked in submit().
+  /// Queued batches are drained unprocessed; the sink stays at a batch
+  /// boundary.  Safe from any thread, idempotent.
+  void cancel(Status reason);
+  CancelToken& cancel_token() { return cancel_token_; }
   bool failed() const { return failed_.load(std::memory_order_acquire); }
   Status snapshot_status() const;
   /// Stable reference once finalize() has run (Stream::stats contract).
@@ -123,6 +136,9 @@ class SessionCore {
   bool closed_locked() const { return closed_; }
   /// Nothing queued and nothing being processed.
   bool idle_locked() const { return queue_.empty() && in_flight_ == 0; }
+  /// Batches currently being processed (the watchdog only monitors
+  /// sessions with work actually running).
+  int in_flight_locked() const { return in_flight_; }
   SessionWorkItem pop_locked();
   /// Align one popped batch with `workspace` and emit it in order.  Runs
   /// without any lock held; failures land in the sticky status.
@@ -140,6 +156,8 @@ class SessionCore {
   DriverOptions worker_options_;  // threads=1 when the pool supplies >1
   SamSink& sink_;
   std::shared_ptr<void> keep_alive_;
+  util::Clock* clock_;        // before cancel_token_: the token borrows it
+  CancelToken cancel_token_;  // cancellation + per-batch progress heartbeats
 
   // Producer-side state.
   std::vector<seq::Read> staging_;

@@ -25,6 +25,8 @@ enum class ErrorCode {
   kDataCorruption,   // persisted data failed integrity validation
   kInternal,         // an invariant broke inside the pipeline
   kResourceExhausted,  // admission denied: service at capacity, retry later
+  kDeadlineExceeded,   // a time budget expired (watchdog stall, shutdown grace)
+  kCancelled,          // the caller (or service lifecycle) cancelled the work
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -35,6 +37,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kDataCorruption: return "data-corruption";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -59,13 +63,21 @@ class Status {
   static Status resource_exhausted(std::string message) {
     return Status(ErrorCode::kResourceExhausted, std::move(message));
   }
+  static Status deadline_exceeded(std::string message) {
+    return Status(ErrorCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status cancelled(std::string message) {
+    return Status(ErrorCode::kCancelled, std::move(message));
+  }
 
   /// Classify a caught exception by its concrete type: io_error -> kIoError,
-  /// corruption_error -> kDataCorruption, std::invalid_argument ->
-  /// kInvalidArgument, everything else (incl. invariant_error) -> kInternal.
+  /// corruption_error -> kDataCorruption, cancelled_error -> kCancelled,
+  /// std::invalid_argument -> kInvalidArgument, everything else (incl.
+  /// invariant_error) -> kInternal.
   static Status from_exception(const std::exception& e) {
     if (dynamic_cast<const io_error*>(&e)) return io(e.what());
     if (dynamic_cast<const corruption_error*>(&e)) return corruption(e.what());
+    if (dynamic_cast<const cancelled_error*>(&e)) return cancelled(e.what());
     if (dynamic_cast<const std::invalid_argument*>(&e)) return invalid(e.what());
     return internal(e.what());
   }
@@ -123,6 +135,7 @@ class Status {
   switch (status.code()) {
     case ErrorCode::kIoError: throw io_error(status.to_string());
     case ErrorCode::kDataCorruption: throw corruption_error(status.to_string());
+    case ErrorCode::kCancelled: throw cancelled_error(status.to_string());
     default: throw invariant_error(status.to_string());
   }
 }

@@ -1,15 +1,19 @@
-// AlignService implementation: admission, the shared worker pool and the
-// round-robin scheduler over per-session SessionCores (see align_service.h
-// for the design).
+// AlignService implementation: admission (fail-fast or bounded FIFO
+// queueing), the shared worker pool, the round-robin scheduler over
+// per-session SessionCores, the batch-progress watchdog and graceful
+// shutdown (see align_service.h for the design).
 //
 // Locking: impl->mu is simultaneously the service registry lock *and*
 // every session core's queue mutex (cores are constructed with it), so a
 // worker holding mu sees a consistent picture of all queues while picking.
-// Lock order is mu -> core state_mu; emit locks are per-core and never
-// nest with mu.  Batch processing itself runs with no lock held.
+// Lock order is mu -> core state_mu -> token mutex (a leaf); emit locks are
+// per-core and never nest with mu.  Batch processing itself runs with no
+// lock held.  All deadline waits go through the injected util::Clock so the
+// admission/watchdog/shutdown paths are testable with a FakeClock.
 #include "serve/align_service.h"
 
 #include <algorithm>
+#include <deque>
 #include <sstream>
 #include <thread>
 
@@ -24,27 +28,62 @@ align::Status validate_serve_options(const ServeOptions& options) {
     return align::Status::invalid("serve: max_streams must be >= 1");
   if (options.max_inflight_batches < 1)
     return align::Status::invalid("serve: max_inflight_batches must be >= 1");
+  if (options.admission_timeout_ms < 0)
+    return align::Status::invalid(
+        "serve: admission_timeout_ms must be >= 0 (0 = fail fast)");
+  if (options.max_pending_opens < 0)
+    return align::Status::invalid("serve: max_pending_opens must be >= 0");
+  if (options.batch_stall_ms < 0)
+    return align::Status::invalid(
+        "serve: batch_stall_ms must be >= 0 (0 = watchdog off)");
   return align::Status();
+}
+
+namespace {
+
+double quantile_of(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+double ServiceMetrics::admission_wait_p50() const {
+  return quantile_of(admission_wait_seconds, 0.50);
+}
+
+double ServiceMetrics::admission_wait_p99() const {
+  return quantile_of(admission_wait_seconds, 0.99);
 }
 
 std::string ServiceMetrics::summary() const {
   std::ostringstream os;
   os << "streams active=" << active_streams << " peak=" << peak_streams
-     << " opened=" << streams_opened << " rejected=" << streams_rejected
+     << " pending=" << pending_opens << " opened=" << streams_opened
+     << " rejected=" << streams_rejected << " queued=" << streams_queued
+     << " timed_out=" << streams_timed_out
+     << " cancelled=" << streams_cancelled
      << " completed=" << streams_completed << " failed=" << streams_failed
      << " | reads=" << reads << " records=" << records
-     << " batches=" << batches << " bsw_pairs=" << counters.bsw_pairs
+     << " batches=" << batches << " write_retries=" << write_retries
+     << " bsw_pairs=" << counters.bsw_pairs
      << " smems=" << counters.smems_found;
   return os.str();
 }
 
 struct AlignService::Impl {
   Impl(const index::Mem2Index& index, const ServeOptions& options, int workers)
-      : index(index), opts(options), n_workers(workers) {}
+      : index(index),
+        opts(options),
+        n_workers(workers),
+        clock(options.clock ? options.clock : &util::Clock::real()) {}
 
   const index::Mem2Index& index;
   const ServeOptions opts;
   const int n_workers;
+  util::Clock* const clock;
 
   // Registry + scheduler state; also every core's queue mutex / work cv.
   std::mutex mu;
@@ -52,17 +91,38 @@ struct AlignService::Impl {
   std::vector<std::shared_ptr<align::SessionCore>> live;
   std::size_t cursor = 0;  // round-robin scan start
   int reserved_batches = 0;
-  bool shutdown = false;
+  bool shutdown = false;   // destructor: pool + watchdog exit
+  bool admitting = true;   // shutdown(): new opens rejected, pool keeps going
+
+  // Bounded FIFO admission queue: tickets in arrival order.  A waiter may
+  // admit itself only when its ticket is at the front *and* capacity is
+  // available; unregister()/timeouts notify admit_cv so the line advances.
+  std::deque<std::uint64_t> open_queue;
+  std::uint64_t next_ticket = 0;
+  std::condition_variable admit_cv;
 
   // Admission counters + aggregates folded in as sessions retire.
   ServiceMetrics retired;
 
   std::vector<std::thread> pool;
+  std::thread watchdog;
+  std::condition_variable watch_cv;  // wakes the watchdog early on shutdown
 
   bool has_any_work_locked() const {
     for (const auto& core : live)
       if (core->has_work_locked()) return true;
     return false;
+  }
+
+  bool admissible_locked(int queue_depth) const {
+    return static_cast<int>(live.size()) < opts.max_streams &&
+           reserved_batches + queue_depth <= opts.max_inflight_batches;
+  }
+
+  bool all_idle_locked() const {
+    for (const auto& core : live)
+      if (!core->idle_locked()) return false;
+    return true;
   }
 
   /// Next session with a queued batch, scanning round-robin from the
@@ -99,18 +159,53 @@ struct AlignService::Impl {
     }
   }
 
-  /// Remove a finished session and fold its stats into the aggregates.
+  /// Batch-progress watchdog: cancels (kDeadlineExceeded) any session whose
+  /// in-flight batch has gone batch_stall_ms without a stage-boundary
+  /// heartbeat.  Sessions with nothing running are never monitored, so an
+  /// idle client is not a stalled one; siblings of a cancelled session are
+  /// untouched and their output stays byte-identical.
+  void watchdog_main() {
+    const auto stall = std::chrono::milliseconds(opts.batch_stall_ms);
+    const auto poll = std::max<std::chrono::nanoseconds>(
+        std::chrono::milliseconds(1), stall / 4);
+    std::unique_lock<std::mutex> lk(mu);
+    while (!shutdown) {
+      const auto now = clock->now();
+      for (const auto& core : live) {
+        align::CancelToken& token = core->cancel_token();
+        if (core->in_flight_locked() > 0 && !token.cancelled() &&
+            now - token.last_beat() >= stall) {
+          ++retired.streams_cancelled;
+          core->cancel(
+              align::Status::deadline_exceeded(
+                  "watchdog: batch made no progress for " +
+                  std::to_string(opts.batch_stall_ms) + "ms (batch_stall_ms)")
+                  .with_context("watchdog"));
+        }
+      }
+      clock->wait_until(watch_cv, lk, now + poll);
+    }
+  }
+
+  /// Remove a finished session, release its reservation (waking queued
+  /// opens) and fold its stats into the aggregates.
   void unregister(const std::shared_ptr<align::SessionCore>& core, bool ok) {
-    std::lock_guard<std::mutex> lk(mu);
-    live.erase(std::remove(live.begin(), live.end(), core), live.end());
-    reserved_batches -= core->options().queue_depth;
-    const align::DriverStats& s = core->stats();  // stable after finalize()
-    const align::StreamMetrics m = core->metrics_snapshot();
-    retired.reads += s.reads;
-    retired.counters += s.counters;
-    retired.records += m.records;
-    retired.batches += m.batches;
-    ++(ok ? retired.streams_completed : retired.streams_failed);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      live.erase(std::remove(live.begin(), live.end(), core), live.end());
+      reserved_batches -= core->options().queue_depth;
+      const align::DriverStats& s = core->stats();  // stable after finalize()
+      const align::StreamMetrics m = core->metrics_snapshot();
+      retired.reads += s.reads;
+      retired.counters += s.counters;
+      retired.records += m.records;
+      retired.batches += m.batches;
+      retired.write_retries += m.write_retries;
+      ++(ok ? retired.streams_completed : retired.streams_failed);
+    }
+    // Capacity freed: the front queued open (if any) can admit itself, and
+    // shutdown() watches the live count shrink on the same cv.
+    admit_cv.notify_all();
   }
 };
 
@@ -168,6 +263,12 @@ align::Status ServiceStream::finish() {
   return final;
 }
 
+void ServiceStream::cancel() {
+  if (!state_ || !state_->core) return;
+  state_->core->cancel(
+      align::Status::cancelled("stream cancelled by caller").with_context("cancel"));
+}
+
 const align::DriverStats& ServiceStream::stats() const {
   static const align::DriverStats empty;
   return state_ && state_->core ? state_->core->stats() : empty;
@@ -195,6 +296,8 @@ AlignService::AlignService(const index::Mem2Index& index, ServeOptions options)
   Impl* im = impl_.get();
   for (int w = 0; w < workers; ++w)
     impl_->pool.emplace_back([im] { im->worker_main(); });
+  if (options_.batch_stall_ms > 0)
+    impl_->watchdog = std::thread([im] { im->watchdog_main(); });
 }
 
 AlignService::~AlignService() {
@@ -202,11 +305,15 @@ AlignService::~AlignService() {
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->shutdown = true;
+    impl_->admitting = false;
     for (auto& core : impl_->live)
       core->fail(align::Status::internal(
           "AlignService destroyed before stream finish()"));
   }
   impl_->work_cv.notify_all();
+  impl_->admit_cv.notify_all();  // queued opens abandon with an error
+  impl_->watch_cv.notify_all();
+  if (impl_->watchdog.joinable()) impl_->watchdog.join();
   for (auto& t : impl_->pool)
     if (t.joinable()) t.join();
   impl_->pool.clear();
@@ -228,50 +335,148 @@ ServiceStream AlignService::open(const align::DriverOptions& options,
     return ServiceStream(std::move(state));
   }
 
+  Impl& im = *impl_;
+  const int qd = options.queue_depth;
   std::shared_ptr<align::SessionCore> core;
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
-    if (impl_->shutdown) {
+    std::unique_lock<std::mutex> lk(im.mu);
+    if (im.shutdown || !im.admitting) {
       state->err = align::Status::invalid("open() on a shut-down AlignService");
-    } else if (static_cast<int>(impl_->live.size()) >=
-               impl_->opts.max_streams) {
-      ++impl_->retired.streams_rejected;
-      state->err = align::Status::resource_exhausted(
-          "admission denied: " + std::to_string(impl_->live.size()) + "/" +
-          std::to_string(impl_->opts.max_streams) +
-          " streams already open; retry after a stream finishes");
-    } else if (impl_->reserved_batches + options.queue_depth >
-               impl_->opts.max_inflight_batches) {
-      ++impl_->retired.streams_rejected;
-      state->err = align::Status::resource_exhausted(
-          "admission denied: in-flight batch budget " +
-          std::to_string(impl_->opts.max_inflight_batches) +
-          " would be exceeded (" + std::to_string(impl_->reserved_batches) +
-          " reserved + " + std::to_string(options.queue_depth) +
-          " requested); retry after a stream finishes");
-    } else {
-      impl_->reserved_batches += options.queue_depth;
-      core = std::make_shared<align::SessionCore>(
-          impl_->index, options, sink, impl_->n_workers, &impl_->mu,
-          &impl_->work_cv, impl_);
-      impl_->live.push_back(core);
-      ++impl_->retired.streams_opened;
-      impl_->retired.peak_streams = std::max(
-          impl_->retired.peak_streams, static_cast<int>(impl_->live.size()));
+      return ServiceStream(std::move(state));
     }
+    // Immediate admission only jumps an *empty* line: with waiters queued,
+    // a new arrival goes to the back so admission stays strictly FIFO.
+    if (!(im.admissible_locked(qd) && im.open_queue.empty())) {
+      if (im.opts.admission_timeout_ms <= 0) {
+        // Fail fast (queueing disabled).  The message says what would have
+        // helped: capacity frees when a stream finishes, or the caller can
+        // opt into bounded waiting.
+        ++im.retired.streams_rejected;
+        if (static_cast<int>(im.live.size()) >= im.opts.max_streams) {
+          state->err = align::Status::resource_exhausted(
+              "admission denied: " + std::to_string(im.live.size()) + "/" +
+              std::to_string(im.opts.max_streams) +
+              " streams already open; enable admission queueing "
+              "(admission_timeout_ms) or retry after a stream finishes");
+        } else {
+          state->err = align::Status::resource_exhausted(
+              "admission denied: in-flight batch budget " +
+              std::to_string(im.opts.max_inflight_batches) +
+              " would be exceeded (" + std::to_string(im.reserved_batches) +
+              " reserved + " + std::to_string(qd) +
+              " requested); enable admission queueing "
+              "(admission_timeout_ms) or retry after a stream finishes");
+        }
+        return ServiceStream(std::move(state));
+      }
+      if (static_cast<int>(im.open_queue.size()) >= im.opts.max_pending_opens) {
+        ++im.retired.streams_rejected;
+        state->err = align::Status::resource_exhausted(
+            "admission queue full: " + std::to_string(im.open_queue.size()) +
+            "/" + std::to_string(im.opts.max_pending_opens) +
+            " opens already waiting; retry after a stream finishes");
+        return ServiceStream(std::move(state));
+      }
+      const std::uint64_t ticket = im.next_ticket++;
+      im.open_queue.push_back(ticket);
+      ++im.retired.streams_queued;
+      const auto start = im.clock->now();
+      const auto deadline =
+          start + std::chrono::milliseconds(im.opts.admission_timeout_ms);
+      while (!(im.open_queue.front() == ticket && im.admissible_locked(qd)) &&
+             im.admitting && !im.shutdown && im.clock->now() < deadline)
+        im.clock->wait_until(im.admit_cv, lk, deadline);
+      const bool admitted = im.open_queue.front() == ticket &&
+                            im.admissible_locked(qd) && im.admitting &&
+                            !im.shutdown;
+      im.open_queue.erase(
+          std::find(im.open_queue.begin(), im.open_queue.end(), ticket));
+      const double waited =
+          std::chrono::duration<double>(im.clock->now() - start).count();
+      if (im.retired.admission_wait_seconds.size() <
+          align::StreamMetrics::kMaxSamples)
+        im.retired.admission_wait_seconds.push_back(waited);
+      if (!admitted) {
+        // Whether we timed out or the line moved on without us, the next
+        // waiter may now be admissible.
+        im.admit_cv.notify_all();
+        ++im.retired.streams_rejected;
+        if (im.shutdown || !im.admitting) {
+          state->err = align::Status::resource_exhausted(
+              "admission abandoned: service shutting down");
+        } else {
+          ++im.retired.streams_timed_out;
+          state->err = align::Status::resource_exhausted(
+              "admission timed out after " +
+              std::to_string(im.opts.admission_timeout_ms) +
+              "ms waiting for capacity (" + std::to_string(im.live.size()) +
+              "/" + std::to_string(im.opts.max_streams) + " streams, " +
+              std::to_string(im.reserved_batches) + "/" +
+              std::to_string(im.opts.max_inflight_batches) +
+              " batches reserved); retry after a stream finishes");
+        }
+        return ServiceStream(std::move(state));
+      }
+      // Admitted from the queue; let the new front re-check capacity.
+      im.admit_cv.notify_all();
+    }
+    im.reserved_batches += qd;
+    core = std::make_shared<align::SessionCore>(im.index, options, sink,
+                                                im.n_workers, &im.mu,
+                                                &im.work_cv, impl_, im.clock);
+    im.live.push_back(core);
+    ++im.retired.streams_opened;
+    im.retired.peak_streams = std::max(im.retired.peak_streams,
+                                       static_cast<int>(im.live.size()));
   }
-  if (core) {
-    state->core = core;
-    try {
-      sink.write_header(align::sam_header_for(impl_->index, options));
-    } catch (const std::exception& e) {
-      core->fail(align::Status::from_exception(e).with_context("sam-header"));
-    } catch (...) {
-      core->fail(align::Status::internal("unknown error writing SAM header")
-                     .with_context("sam-header"));
-    }
+  state->core = core;
+  try {
+    sink.write_header(align::sam_header_for(im.index, options));
+  } catch (const std::exception& e) {
+    core->fail(align::Status::from_exception(e).with_context("sam-header"));
+  } catch (...) {
+    core->fail(align::Status::internal("unknown error writing SAM header")
+                   .with_context("sam-header"));
   }
   return ServiceStream(std::move(state));
+}
+
+align::Status AlignService::shutdown(std::chrono::milliseconds grace) {
+  if (!impl_) return status_;
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lk(im.mu);
+  im.admitting = false;
+  im.admit_cv.notify_all();  // queued opens abandon with kResourceExhausted
+
+  // Phase 1: wait up to `grace` for clients to finish their streams
+  // (finish() -> unregister() notifies admit_cv as the live set shrinks).
+  const auto deadline = im.clock->now() + grace;
+  while (!im.live.empty() && im.clock->now() < deadline)
+    im.clock->wait_until(im.admit_cv, lk, deadline);
+  if (im.live.empty()) return align::Status();
+
+  // Phase 2: grace expired — cancel the stragglers.  Their handles report
+  // kCancelled; their in-flight batches abort at the next stage boundary.
+  std::size_t cancelled = 0;
+  for (const auto& core : im.live) {
+    if (!core->cancel_token().cancelled()) {
+      ++im.retired.streams_cancelled;
+      ++cancelled;
+    }
+    core->cancel(align::Status::cancelled("cancelled by service shutdown")
+                     .with_context("shutdown"));
+  }
+
+  // Phase 3: wait for the cancelled sessions' queues to drain so the sinks
+  // sit at batch boundaries.  Cancellation guarantees progress (workers
+  // discard queued batches of a failed session), so this terminates; the
+  // short re-arm keeps a FakeClock from parking us forever.
+  while (!im.all_idle_locked())
+    im.clock->wait_until(im.admit_cv, lk,
+                         im.clock->now() + std::chrono::milliseconds(2));
+  return align::Status::deadline_exceeded(
+      "shutdown grace expired; cancelled " + std::to_string(cancelled) +
+      " live stream(s)");
 }
 
 ServiceMetrics AlignService::metrics() const {
@@ -280,6 +485,7 @@ ServiceMetrics AlignService::metrics() const {
   std::lock_guard<std::mutex> lk(impl_->mu);
   m = impl_->retired;
   m.active_streams = static_cast<int>(impl_->live.size());
+  m.pending_opens = static_cast<int>(impl_->open_queue.size());
   for (const auto& core : impl_->live) {
     // Live running totals: records/batches/counters move as batches
     // complete; a session's read count lands when it finishes.
@@ -288,6 +494,7 @@ ServiceMetrics AlignService::metrics() const {
     m.counters += s.counters;
     m.records += sm.records;
     m.batches += sm.batches;
+    m.write_retries += sm.write_retries;
   }
   return m;
 }

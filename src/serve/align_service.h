@@ -18,10 +18,18 @@
 //     rotating cursor, taking at most one batch per pick, so a heavy client
 //     cannot starve the others; each session keeps its own bounded queue
 //     and back-pressure.
-//   - Admission control: open() fails fast with kResourceExhausted — never
-//     blocks — when max_streams sessions are live or when the global
+//   - Admission control: when max_streams sessions are live or the global
 //     in-flight batch budget (sum of admitted sessions' queue_depth) would
-//     be exceeded.
+//     be exceeded, open() either fails fast with kResourceExhausted
+//     (admission_timeout_ms == 0, the default) or queues FIFO behind up to
+//     max_pending_opens other waiting opens until capacity frees or the
+//     timeout expires.
+//   - Deadlines & lifecycle: an optional watchdog (batch_stall_ms) cancels
+//     any session whose in-flight batch stops making progress
+//     (kDeadlineExceeded) while its siblings run on untouched;
+//     ServiceStream::cancel() aborts one session cooperatively at a batch
+//     boundary; shutdown(grace) stops admission, waits for live streams to
+//     drain and cancels the stragglers.
 //   - Isolation: a session failure (sticky Status, queue drained, sink left
 //     at a batch boundary) is invisible to its siblings; per-session
 //     SwCounters (util::CounterCapture) keep even the observability stats
@@ -35,10 +43,13 @@
 // producer thread.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "align/aligner.h"
+#include "util/clock.h"
 
 namespace mem2::serve {
 
@@ -51,6 +62,21 @@ struct ServeOptions {
   /// reserves its queue_depth batches; an open() that would push the sum
   /// past this fails with kResourceExhausted.
   int max_inflight_batches = 64;
+  /// Admission queueing: how long an over-capacity open() may wait for a
+  /// slot before failing with kResourceExhausted.  0 (default) preserves
+  /// the original fail-fast behavior — open() never blocks.
+  int admission_timeout_ms = 0;
+  /// Bound on simultaneously waiting opens; arrivals beyond it fail fast
+  /// even when queueing is on.  Waiters are admitted strictly FIFO.
+  int max_pending_opens = 16;
+  /// Watchdog: cancel a session (kDeadlineExceeded) whose in-flight batch
+  /// has made no progress — no stage-boundary heartbeat — for this long.
+  /// 0 (default) disables the watchdog.
+  int batch_stall_ms = 0;
+  /// Injectable time source for admission deadlines, the watchdog and
+  /// batch-latency metrics; null means the real steady clock.  Tests drive
+  /// all deadline behavior with a util::FakeClock and zero real sleeps.
+  util::Clock* clock = nullptr;
 };
 
 align::Status validate_serve_options(const ServeOptions& options);
@@ -60,14 +86,25 @@ align::Status validate_serve_options(const ServeOptions& options);
 struct ServiceMetrics {
   int active_streams = 0;
   int peak_streams = 0;
+  int pending_opens = 0;                // opens waiting in the admission queue
   std::uint64_t streams_opened = 0;
-  std::uint64_t streams_rejected = 0;   // admission denials
+  std::uint64_t streams_rejected = 0;   // admission denials (incl. timeouts)
+  std::uint64_t streams_queued = 0;     // opens that waited in the queue
+  std::uint64_t streams_timed_out = 0;  // queued opens that hit the deadline
+  std::uint64_t streams_cancelled = 0;  // watchdog / shutdown cancellations
   std::uint64_t streams_completed = 0;  // finished with ok()
   std::uint64_t streams_failed = 0;     // finished with a sticky error
   std::uint64_t reads = 0;
   std::uint64_t records = 0;
   std::uint64_t batches = 0;
+  std::uint64_t write_retries = 0;      // transient sink retries absorbed
   util::SwCounters counters;  // merged per-session counters
+
+  /// Admission queue-wait sample (seconds), one entry per open() that went
+  /// through the queue — admitted or timed out; capped like StreamMetrics.
+  std::vector<double> admission_wait_seconds;
+  double admission_wait_p50() const;
+  double admission_wait_p99() const;
 
   /// One-line rendering for periodic stderr snapshots.
   std::string summary() const;
@@ -92,6 +129,11 @@ class ServiceStream {
   /// Drain this session's pipeline, flush its sink, release its admission
   /// reservation and fold its stats into the service aggregates.
   align::Status finish();
+  /// Cooperatively cancel this session (same contract as Stream::cancel():
+  /// sticky kCancelled, blocked submit() returns, in-flight batch aborts at
+  /// a stage boundary, sink left at a batch boundary).  Siblings sharing
+  /// the pool are unaffected.  Call finish() afterwards as usual.
+  void cancel();
 
   const align::DriverStats& stats() const;
   const pair::InsertStats& pair_stats() const;
@@ -127,6 +169,16 @@ class AlignService {
   /// header is written on successful admission.
   ServiceStream open(const align::DriverOptions& options,
                      align::SamSink& sink);
+
+  /// Graceful lifecycle: stop admitting (queued opens are released with
+  /// kResourceExhausted), wait up to `grace` for live streams to finish,
+  /// then cancel the stragglers (their handles report kCancelled) and wait
+  /// for their queues to drain — so no batch is ever cut mid-write.
+  /// Returns ok() when everything drained within the grace period,
+  /// kDeadlineExceeded when stragglers had to be cancelled.  Idempotent;
+  /// open() after shutdown() fails.  Never deadlocks: it only waits on
+  /// pool-side drain progress, which cancellation guarantees.
+  align::Status shutdown(std::chrono::milliseconds grace);
 
   ServiceMetrics metrics() const;
 

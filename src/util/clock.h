@@ -1,0 +1,125 @@
+// Injectable monotonic time for every deadline-bearing code path.
+//
+// The resilience layer (admission deadlines, the serve watchdog, retry
+// backoff) must be testable without real sleeps: tests inject a FakeClock /
+// FakeSleeper and advance virtual time explicitly, so "the session stalled
+// for 500 ms" is a deterministic statement rather than a race against the
+// scheduler.  Production code uses Clock::real() / Sleeper::real(), which
+// are thin wrappers over std::chrono::steady_clock.
+//
+// Clock::wait_until is the one subtle piece: deadline waits sit on ordinary
+// condition variables (the service's work/admission cvs), so a fake clock
+// cannot hook the wakeup directly.  Instead FakeClock::wait_until bounds
+// each block to a few real milliseconds and returns, and the caller's
+// predicate loop re-reads the *virtual* now() — logic is driven entirely by
+// fake time, while a missed notify costs at most one short real wait
+// instead of a hang.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mem2::util {
+
+class Clock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  virtual time_point now() const = 0;
+
+  /// Block on `cv` until notified or `deadline` (per this clock) passes.
+  /// Callers always loop on their own predicate; spurious returns are fine.
+  virtual void wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lk,
+                          time_point deadline) = 0;
+
+  /// The process steady clock.
+  static Clock& real();
+};
+
+/// Virtual time for tests.  now() only moves when advance() is called, so a
+/// deadline of "now + 500ms" is never reached by wall-clock accident.
+class FakeClock final : public Clock {
+ public:
+  time_point now() const override {
+    return time_point(std::chrono::nanoseconds(now_ns_.load(std::memory_order_acquire)));
+  }
+
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  time_point deadline) override {
+    if (now() >= deadline) return;
+    // Short real-time block; the caller's predicate loop re-checks virtual
+    // time, so logic depends only on advance() while a missed notify costs
+    // at most kPoll of real time.
+    cv.wait_for(lk, kPoll);
+  }
+
+  void advance(std::chrono::nanoseconds d) {
+    now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  static constexpr std::chrono::milliseconds kPoll{2};
+  std::atomic<std::int64_t> now_ns_{1};  // nonzero so time_point{} reads as past
+};
+
+/// Injectable sleep for retry backoff.
+class Sleeper {
+ public:
+  virtual ~Sleeper() = default;
+  virtual void sleep_for(std::chrono::nanoseconds d) = 0;
+  static Sleeper& real();
+};
+
+/// Records requested sleeps instead of performing them, so backoff schedules
+/// are assertable and retry tests take no wall-clock time.
+class FakeSleeper final : public Sleeper {
+ public:
+  void sleep_for(std::chrono::nanoseconds d) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    slept_.push_back(d);
+  }
+  std::vector<std::chrono::nanoseconds> slept() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return slept_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::chrono::nanoseconds> slept_;
+};
+
+inline Clock& Clock::real() {
+  class RealClock final : public Clock {
+   public:
+    time_point now() const override { return std::chrono::steady_clock::now(); }
+    void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                    time_point deadline) override {
+      if (deadline == time_point::max())
+        cv.wait(lk);
+      else
+        cv.wait_until(lk, deadline);
+    }
+  };
+  static RealClock clock;
+  return clock;
+}
+
+inline Sleeper& Sleeper::real() {
+  class RealSleeper final : public Sleeper {
+   public:
+    void sleep_for(std::chrono::nanoseconds d) override {
+      if (d.count() > 0) std::this_thread::sleep_for(d);
+    }
+  };
+  static RealSleeper sleeper;
+  return sleeper;
+}
+
+}  // namespace mem2::util

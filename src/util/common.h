@@ -46,6 +46,14 @@ class invariant_error : public std::logic_error {
   explicit invariant_error(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown by cooperative-cancellation checkpoints (align/cancel.h) to abort
+/// an in-flight batch.  The session's sticky Status is already set by the
+/// canceller when this unwinds, so the message is informational only.
+class cancelled_error : public std::runtime_error {
+ public:
+  explicit cancelled_error(const std::string& what) : std::runtime_error(what) {}
+};
+
 #define MEM2_REQUIRE(cond, msg)                           \
   do {                                                    \
     if (MEM2_UNLIKELY(!(cond)))                           \

@@ -4,6 +4,22 @@
 
 namespace mem2::util {
 
+namespace {
+
+/// Parse a non-empty all-digit string; returns 0 on malformed input (0 is
+/// never a valid 1-based pass number, so it doubles as the error value).
+std::uint64_t parse_count(const std::string& s) {
+  if (s.empty()) return 0;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
 FaultInjector& FaultInjector::instance() {
   static FaultInjector* inst = [] {
     static FaultInjector fi;
@@ -16,37 +32,66 @@ FaultInjector& FaultInjector::instance() {
 bool FaultInjector::arm(const std::string& spec) {
   disarm();
   if (spec.empty()) return true;
-  std::string site = spec;
-  std::uint64_t nth = 1;
-  if (const auto colon = spec.find(':'); colon != std::string::npos) {
-    site = spec.substr(0, colon);
-    const std::string count = spec.substr(colon + 1);
-    if (count.empty()) return false;
-    nth = 0;
-    for (char c : count) {
-      if (c < '0' || c > '9') return false;
-      nth = nth * 10 + static_cast<std::uint64_t>(c - '0');
+
+  std::deque<ArmedSite> sites;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string one = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+
+    std::string site = one;
+    std::uint64_t nth = 1, mth = 1;
+    if (const auto colon = one.find(':'); colon != std::string::npos) {
+      site = one.substr(0, colon);
+      const std::string range = one.substr(colon + 1);
+      const auto dash = range.find('-');
+      if (dash == std::string::npos) {
+        nth = mth = parse_count(range);
+      } else {
+        nth = parse_count(range.substr(0, dash));
+        mth = parse_count(range.substr(dash + 1));
+      }
+      if (nth == 0 || mth < nth) return false;  // passes count from 1
     }
-    if (nth == 0) return false;  // fault points count from 1
+    if (site.empty()) return false;
+    auto& armed = sites.emplace_back();
+    armed.site = std::move(site);
+    armed.nth = nth;
+    armed.mth = mth;
   }
-  if (site.empty()) return false;
-  site_ = std::move(site);
-  nth_ = nth;
-  hits_.store(0, std::memory_order_relaxed);
+
+  sites_.swap(sites);
   armed_.store(true, std::memory_order_release);
   return true;
 }
 
 void FaultInjector::disarm() {
   armed_.store(false, std::memory_order_release);
-  site_.clear();
-  nth_ = 1;
-  hits_.store(0, std::memory_order_relaxed);
+  sites_.clear();
+}
+
+const std::string& FaultInjector::site() const {
+  static const std::string empty;
+  return sites_.empty() ? empty : sites_.front().site;
 }
 
 bool FaultInjector::fire(std::string_view site) {
-  if (site != site_) return false;
-  return hits_.fetch_add(1, std::memory_order_relaxed) + 1 == nth_;
+  bool fired = false;
+  for (auto& armed : sites_) {
+    if (armed.site != site) continue;
+    const std::uint64_t pass =
+        armed.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    fired = fired || (armed.nth <= pass && pass <= armed.mth);
+  }
+  return fired;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  for (const auto& armed : sites_)
+    if (armed.site == site) return armed.hits.load(std::memory_order_relaxed);
+  return 0;
 }
 
 }  // namespace mem2::util

@@ -1,0 +1,60 @@
+// Bounded exponential-backoff retry for transient failures.
+//
+// The session layer wraps sink writes with with_retry so a transient I/O
+// hiccup (momentary EAGAIN on a pipe, a filesystem blip, the injected
+// `sam.write:nth-mth` fault) degrades to a short stall instead of killing
+// the whole stream.  The policy is deliberately small: attempts are
+// bounded, backoff grows geometrically up to a cap, and the sleeper is
+// injectable so tests assert the exact backoff schedule without sleeping.
+//
+// max_attempts == 1 means "no retry" and is the default everywhere — the
+// fail-stop contract from the fault-tolerance layer is opt-out only.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/clock.h"
+
+namespace mem2::util {
+
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retry (today's behavior).
+  int max_attempts = 1;
+  std::chrono::milliseconds initial_backoff{2};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{100};
+  /// Injected for tests; null means Sleeper::real().
+  Sleeper* sleeper = nullptr;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// Run op(attempt) (attempt is 1-based) until it returns normally, a
+/// failure is ruled non-transient, or attempts are exhausted — then the
+/// last exception propagates unchanged.  `is_transient(e)` decides whether
+/// a caught std::exception is worth retrying; between tries the policy's
+/// backoff is slept through the injected sleeper.  Returns the attempt
+/// number that succeeded.
+template <class Op, class IsTransient>
+int with_retry(const RetryPolicy& policy, Op&& op, IsTransient&& is_transient) {
+  Sleeper& sleeper = policy.sleeper ? *policy.sleeper : Sleeper::real();
+  const int max_attempts = std::max(1, policy.max_attempts);
+  std::chrono::nanoseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      op(attempt);
+      return attempt;
+    } catch (const std::exception& e) {
+      if (attempt >= max_attempts || !is_transient(e)) throw;
+      sleeper.sleep_for(backoff);
+      const auto scaled = std::chrono::nanoseconds(static_cast<std::int64_t>(
+          static_cast<double>(backoff.count()) *
+          std::max(1.0, policy.backoff_multiplier)));
+      backoff = std::min<std::chrono::nanoseconds>(scaled, policy.max_backoff);
+    }
+  }
+}
+
+}  // namespace mem2::util

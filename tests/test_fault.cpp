@@ -73,6 +73,32 @@ TEST(FaultInjector, SpecParsing) {
   EXPECT_FALSE(fi.arm("x:0"));    // fault points count from 1
   EXPECT_FALSE(fi.arm("x:abc"));  // non-numeric count
   EXPECT_FALSE(fi.armed());       // malformed specs leave it disarmed
+
+  // Ranges and comma-separated multi-site specs (transient faults).
+  EXPECT_TRUE(fi.arm("site.a:2-4"));
+  EXPECT_EQ(fi.site(), "site.a");
+  EXPECT_TRUE(fi.arm("site.a:2,site.b:3-5"));
+  EXPECT_EQ(fi.site(), "site.a");  // first site, for backward compatibility
+  EXPECT_FALSE(fi.arm("x:3-2"));   // inverted range
+  EXPECT_FALSE(fi.arm("x:0-2"));   // range starts from 1
+  EXPECT_FALSE(fi.arm("x:1-"));    // empty range end
+  EXPECT_FALSE(fi.arm("a,"));      // trailing comma
+  EXPECT_FALSE(fi.arm("a,,b"));    // empty element
+  EXPECT_FALSE(fi.armed());
+  fi.disarm();
+}
+
+TEST(FaultInjector, RangeFiresTransientlyAndMultiSiteIsIndependent) {
+  ArmedFault fault("p:2-3,q");
+  EXPECT_TRUE(util::fault_point("q"));   // q pass 1: fires
+  EXPECT_FALSE(util::fault_point("q"));  // q recovered
+  EXPECT_FALSE(util::fault_point("p"));  // p pass 1
+  EXPECT_TRUE(util::fault_point("p"));   // p pass 2: in range
+  EXPECT_TRUE(util::fault_point("p"));   // p pass 3: in range
+  EXPECT_FALSE(util::fault_point("p"));  // p pass 4: healed
+  EXPECT_EQ(util::FaultInjector::instance().hits("p"), 4u);
+  EXPECT_EQ(util::FaultInjector::instance().hits("q"), 2u);
+  EXPECT_EQ(util::FaultInjector::instance().hits("unarmed"), 0u);
 }
 
 TEST(FaultInjector, FiresExactlyOnceAtNthPass) {
