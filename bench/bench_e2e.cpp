@@ -12,11 +12,19 @@
 // paired batch driver (insert-size calibration + pair scoring + BSW mate
 // rescue) with the per-stage breakdown and the mate-rescue counter line,
 // written to BENCH_pe.json.  --smoke caps the workload for CI.
+//
+// --trace-overhead gates the observability contract: tracing compiled in
+// but DISABLED must cost < 1% of the batch-driver run (measured as
+// span-site count x per-site disabled cost), and enabling tracing must
+// leave the SAM byte-identical.  Writes BENCH_trace_overhead.json.
+#include <algorithm>
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "align/aligner.h"
 #include "bench_common.h"
+#include "util/trace.h"
 
 using namespace mem2;
 
@@ -210,14 +218,117 @@ int run_paired_suite(bool smoke) {
   return 0;
 }
 
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int run_trace_overhead(bool smoke) {
+  const auto index = bench::bench_index();
+  const auto ds = bench::bench_dataset(index, 1);  // D2: short reads, busy BSW
+
+  align::DriverOptions opt;
+  opt.mode = align::Mode::kBatch;
+  opt.threads = 1;
+  const align::Aligner aligner(index, opt);
+
+  const auto run_once = [&](std::vector<std::string>* sam_out) {
+    align::CollectSamSink sink;
+    util::Timer t;
+    bench::require_ok(aligner.align(ds.reads, sink, nullptr));
+    const double s = t.seconds();
+    if (sam_out) {
+      sam_out->clear();
+      for (const auto& rec : sink.records()) sam_out->push_back(rec.to_line());
+    }
+    return s;
+  };
+
+  auto& tracer = util::Tracer::instance();
+  tracer.disable();
+  run_once(nullptr);  // warmup: page in the index, settle the allocator
+
+  const int reps = smoke ? 3 : 5;
+  std::vector<std::string> sam_off, sam_on;
+  std::vector<double> off, on;
+  std::uint64_t spans_per_run = 0;
+  for (int r = 0; r < reps; ++r)
+    off.push_back(run_once(r == 0 ? &sam_off : nullptr));
+  for (int r = 0; r < reps; ++r) {
+    tracer.enable();
+    on.push_back(run_once(r == 0 ? &sam_on : nullptr));
+    tracer.disable();
+    spans_per_run = tracer.recorded();
+  }
+  const bool identical = sam_off == sam_on;
+
+  // Disabled-site micro-cost: the contract is one relaxed load + branch.
+  // Gate the *measured* product (sites hit per run x ns per disabled site)
+  // against 1% of the run — robust to machine noise, unlike an A/B of two
+  // full runs whose jitter exceeds the effect being measured.
+  const std::size_t iters = smoke ? 5'000'000 : 20'000'000;
+  util::Timer mt;
+  for (std::size_t i = 0; i < iters; ++i) {
+    util::TraceSpan probe("overhead-probe");
+  }
+  const double ns_per_site = 1e9 * mt.seconds() / static_cast<double>(iters);
+
+  const double t_off = median(off), t_on = median(on);
+  const double disabled_pct =
+      100.0 * (static_cast<double>(spans_per_run) * ns_per_site) / (t_off * 1e9);
+  const double enabled_pct = 100.0 * (t_on - t_off) / t_off;
+
+  bench::print_header("Tracing overhead: batch driver on D2, 1 thread");
+  bench::print_row("Metric", {"value"});
+  bench::print_row("disabled run (median s)", {bench::fmt(t_off, 3)});
+  bench::print_row("enabled run (median s)", {bench::fmt(t_on, 3)});
+  bench::print_row("span sites hit per run", {bench::fmt_int(spans_per_run)});
+  bench::print_row("disabled cost per site (ns)", {bench::fmt(ns_per_site, 2)});
+  bench::print_row("disabled overhead (gate < 1%)",
+                   {bench::fmt(disabled_pct, 4) + "%"});
+  bench::print_row("enabled overhead (advisory)",
+                   {bench::fmt(enabled_pct, 1) + "%"});
+  bench::print_row("SAM identical on/off", {identical ? "yes" : "NO"});
+
+  if (std::FILE* f = std::fopen("BENCH_trace_overhead.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"trace_overhead\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"reads\": %zu,\n  \"reps\": %d,\n", ds.reads.size(),
+                 reps);
+    std::fprintf(f, "  \"disabled_seconds\": %.6f,\n  \"enabled_seconds\": %.6f,\n",
+                 t_off, t_on);
+    std::fprintf(f, "  \"spans_per_run\": %llu,\n",
+                 static_cast<unsigned long long>(spans_per_run));
+    std::fprintf(f, "  \"disabled_ns_per_site\": %.3f,\n", ns_per_site);
+    std::fprintf(f, "  \"disabled_overhead_pct\": %.6f,\n", disabled_pct);
+    std::fprintf(f, "  \"enabled_overhead_pct\": %.3f,\n", enabled_pct);
+    std::fprintf(f, "  \"sam_identical\": %s\n}\n", identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_trace_overhead.json\n");
+  }
+
+  if (!identical) {
+    std::printf("ERROR: SAM differs with tracing enabled!\n");
+    return 1;
+  }
+  if (disabled_pct >= 1.0) {
+    std::printf("ERROR: disabled tracing costs %.4f%% (gate < 1%%)\n",
+                disabled_pct);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool paired = false, smoke = false;
+  bool paired = false, smoke = false, trace_overhead = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--paired")) paired = true;
     if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    if (!std::strcmp(argv[i], "--trace-overhead")) trace_overhead = true;
   }
+  if (trace_overhead) return run_trace_overhead(smoke);
   if (paired) return run_paired_suite(smoke);
 
   const auto index = bench::bench_index();

@@ -9,10 +9,12 @@
 // fed to an Aligner session, so peak resident reads/records are bounded by
 // the session's queue — the input file never needs to fit in memory.
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <climits>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -30,6 +32,9 @@
 #include "seq/read_sim.h"
 #include "util/cpu_features.h"
 #include "util/fault_injector.h"
+#include "util/metrics.h"
+#include "util/perf_counters.h"
+#include "util/trace.h"
 
 using namespace mem2;
 
@@ -53,6 +58,10 @@ int usage() {
       "                        resync at the next '@' header and report counts\n"
       "      --fault site[:nth]\n"
       "                        arm the fault injector (testing; also MEM2_FAULT)\n"
+      "      --trace FILE      write a Chrome trace (Perfetto-loadable) of the\n"
+      "                        run's pipeline spans at exit\n"
+      "      --metrics-out FILE\n"
+      "                        write a Prometheus text metrics snapshot at exit\n"
       "  mem2_cli serve [options] <index.m2i> <stream>...\n"
       "      each <stream> is out.sam=reads.fq[,mates.fq][,skip] — one\n"
       "      client session per spec, all multiplexed over one index and\n"
@@ -80,6 +89,12 @@ int usage() {
       "      --metrics-interval S\n"
       "                        print a service metrics snapshot to stderr\n"
       "                        every S seconds (default: off)\n"
+      "      --trace FILE      write a Chrome trace of every stream's pipeline\n"
+      "                        (pid = stream, tid = worker) at exit\n"
+      "      --metrics-out FILE\n"
+      "                        write a Prometheus text metrics snapshot,\n"
+      "                        rewritten every --metrics-interval tick and at\n"
+      "                        exit\n"
       "  mem2_cli simulate <out.fasta> <length> [seed]\n"
       "  mem2_cli wgsim <ref.fasta> <out.fastq> <n_reads> <read_len> [seed]\n"
       "  mem2_cli wgsim-pe <ref.fasta> <out1.fastq> <out2.fastq> <n_pairs>"
@@ -145,6 +160,171 @@ bool parse_arg(const char* flag, const char* s, long long min, long long max,
   return true;
 }
 
+// ------------------------------------------------------------ observability
+
+std::string stage_label(util::Stage s) {
+  std::string v(util::stage_name(s));
+  for (char& ch : v)
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return "stage=\"" + v + "\"";
+}
+
+/// Registry id for the snapshot counter — the one CLI-owned metric that
+/// rides through MetricsRegistry exposition rather than PromWriter.
+int snapshot_counter_id() {
+  static const int id = util::MetricsRegistry::global().counter(
+      "mem2_metrics_snapshots_total", "Prometheus snapshot files written");
+  return id;
+}
+
+/// Families every run exposes: the full SwCounters table, per-span-name
+/// exact aggregates from the tracer (empty unless --trace enabled it),
+/// ring-drop accounting, and hardware counters when the container allows
+/// perf_event_open (silently absent otherwise).
+void write_common_obs(util::PromWriter& w, const util::SwCounters& c,
+                      const util::PerfSample* hw) {
+  util::write_sw_counters(w, c);
+  const auto& tracer = util::Tracer::instance();
+  for (const auto& agg : tracer.aggregate()) {
+    const std::string label = "span=\"" + agg.name + "\"";
+    w.counter("mem2_span_seconds_total", "Total seconds inside trace spans",
+              agg.seconds(), label);
+    w.counter("mem2_span_count_total", "Trace span invocations",
+              static_cast<double>(agg.count), label);
+  }
+  w.counter("mem2_trace_recorded_spans_total", "Trace events recorded",
+            static_cast<double>(tracer.recorded()));
+  w.counter("mem2_trace_dropped_spans_total",
+            "Trace events overwritten by ring wraparound",
+            static_cast<double>(tracer.dropped()));
+  if (hw != nullptr && hw->valid) {
+    w.counter("mem2_hw_instructions_total",
+              "Retired instructions (perf_event, whole process)",
+              static_cast<double>(hw->instructions));
+    w.counter("mem2_hw_cycles_total", "CPU cycles (perf_event, whole process)",
+              static_cast<double>(hw->cycles));
+    w.counter("mem2_hw_cache_references_total",
+              "Cache references (perf_event, whole process)",
+              static_cast<double>(hw->cache_references));
+    w.counter("mem2_hw_cache_misses_total",
+              "Cache misses (perf_event, whole process)",
+              static_cast<double>(hw->cache_misses));
+  }
+}
+
+/// Rewrite `path` atomically (tmp + rename) so a concurrent reader never
+/// sees a torn snapshot.  The writer callback fills the PromWriter view;
+/// registry-managed metrics are appended after it.
+template <typename Fn>
+bool write_prom_file(const std::string& path, Fn&& fill) {
+  util::MetricsRegistry::global().add(snapshot_counter_id());
+  const std::string tmp = path + ".tmp";
+  std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  {
+    util::PromWriter w(os);
+    fill(w);
+  }
+  util::MetricsRegistry::global().write_prometheus(os);
+  os.flush();
+  if (!os) return false;
+  os.close();
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool write_serve_metrics(const std::string& path,
+                         const serve::ServiceMetrics& m,
+                         const util::PerfSample* hw, double wall) {
+  return write_prom_file(path, [&](util::PromWriter& w) {
+    w.gauge("mem2_streams_active", "Live sessions", m.active_streams);
+    w.gauge("mem2_streams_peak", "Peak concurrent sessions", m.peak_streams);
+    w.gauge("mem2_pending_opens", "Opens waiting in the admission queue",
+            m.pending_opens);
+    w.gauge("mem2_wall_seconds", "Wall time since serve start", wall);
+    w.counter("mem2_streams_opened_total", "Sessions admitted",
+              static_cast<double>(m.streams_opened));
+    w.counter("mem2_streams_rejected_total", "Admission denials",
+              static_cast<double>(m.streams_rejected));
+    w.counter("mem2_streams_queued_total",
+              "Opens that waited in the admission queue",
+              static_cast<double>(m.streams_queued));
+    w.counter("mem2_streams_timed_out_total",
+              "Queued opens that hit the admission deadline",
+              static_cast<double>(m.streams_timed_out));
+    w.counter("mem2_streams_cancelled_total",
+              "Watchdog / shutdown cancellations",
+              static_cast<double>(m.streams_cancelled));
+    w.counter("mem2_streams_completed_total", "Sessions finished ok",
+              static_cast<double>(m.streams_completed));
+    w.counter("mem2_streams_failed_total",
+              "Sessions finished with a sticky error",
+              static_cast<double>(m.streams_failed));
+    w.counter("mem2_reads_total", "Reads aligned",
+              static_cast<double>(m.reads));
+    w.counter("mem2_records_total", "SAM records written",
+              static_cast<double>(m.records));
+    w.counter("mem2_batches_total", "Batches processed",
+              static_cast<double>(m.batches));
+    w.counter("mem2_sink_write_retries_total",
+              "Transient sink write retries absorbed",
+              static_cast<double>(m.write_retries));
+    w.histogram("mem2_admission_wait_seconds",
+                "Admission queue wait per queued open", m.admission_wait);
+    w.histogram("mem2_batch_latency_seconds",
+                "Batch latency, enqueue to reassembled sink write",
+                m.batch_latency);
+    w.histogram("mem2_queue_wait_seconds",
+                "Batch queue wait, enqueue to worker pickup", m.queue_wait);
+    for (std::size_t s = 0; s < m.stage_seconds.size(); ++s)
+      if (m.stage_seconds[s].count() > 0)
+        w.histogram("mem2_stage_seconds",
+                    "Per-batch pipeline stage seconds", m.stage_seconds[s],
+                    stage_label(static_cast<util::Stage>(s)));
+    write_common_obs(w, m.counters, hw);
+  });
+}
+
+bool write_mem_metrics(const std::string& path, const align::StreamMetrics& sm,
+                       const util::SwCounters& c, std::uint64_t reads,
+                       const util::PerfSample* hw, double wall) {
+  return write_prom_file(path, [&](util::PromWriter& w) {
+    w.gauge("mem2_wall_seconds", "Wall time of the run", wall);
+    w.gauge("mem2_queue_hwm", "Session queue high-water mark", sm.queue_hwm);
+    w.counter("mem2_reads_total", "Reads aligned",
+              static_cast<double>(reads));
+    w.counter("mem2_records_total", "SAM records written",
+              static_cast<double>(sm.records));
+    w.counter("mem2_batches_total", "Batches processed",
+              static_cast<double>(sm.batches));
+    w.counter("mem2_sink_write_retries_total",
+              "Transient sink write retries absorbed",
+              static_cast<double>(sm.write_retries));
+    w.histogram("mem2_batch_latency_seconds",
+                "Batch latency, enqueue to reassembled sink write",
+                sm.batch_latency);
+    w.histogram("mem2_queue_wait_seconds",
+                "Batch queue wait, enqueue to worker pickup", sm.queue_wait);
+    for (std::size_t s = 0; s < sm.stage_seconds.size(); ++s)
+      if (sm.stage_seconds[s].count() > 0)
+        w.histogram("mem2_stage_seconds",
+                    "Per-batch pipeline stage seconds", sm.stage_seconds[s],
+                    stage_label(static_cast<util::Stage>(s)));
+    write_common_obs(w, c, hw);
+  });
+}
+
+/// Finish the tracer at end of run: disable, dump the Chrome JSON, report.
+void finish_trace(const std::string& path) {
+  auto& tracer = util::Tracer::instance();
+  tracer.disable();
+  if (!tracer.write_chrome_trace_file(path)) {
+    std::cerr << "[mem2] warning: cannot write trace file " << path << '\n';
+    return;
+  }
+  std::cerr << "[mem2] trace: " << tracer.recorded() << " event(s) ("
+            << tracer.dropped() << " dropped) -> " << path << '\n';
+}
+
 int cmd_index(int argc, char** argv) {
   if (argc != 2) return usage();
   std::cerr << "[mem2] loading " << argv[0] << "...\n";
@@ -163,6 +343,7 @@ int cmd_mem(int argc, char** argv) {
   align::DriverOptions opt;
   bool interleaved = false;
   io::FastqPolicy ingest = io::FastqPolicy::kStrict;
+  std::string trace_path, metrics_path;
   long long v = 0;
   int i = 0;
   for (; i < argc && argv[i][0] == '-'; ++i) {
@@ -202,6 +383,10 @@ int cmd_mem(int argc, char** argv) {
                   << "' (expected site[:nth])\n";
         return usage();
       }
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       std::cerr << "mem2_cli: unknown option " << argv[i] << '\n';
       return usage();
@@ -228,6 +413,16 @@ int cmd_mem(int argc, char** argv) {
             << " (" << (opt.mode == align::Mode::kBaseline ? "baseline" : "batch")
             << (opt.paired ? ", paired" : "") << ", " << opt.effective_workers()
             << " worker(s), batch " << opt.batch_size << ")...\n";
+
+  // Hardware counters must open (inherit=1) before the session spawns its
+  // worker pool so the whole process is covered; tracing must be enabled
+  // before the first span fires.
+  std::unique_ptr<util::PerfCounters> perf;
+  if (!metrics_path.empty()) {
+    perf = std::make_unique<util::PerfCounters>(/*inherit=*/true);
+    perf->start();
+  }
+  if (!trace_path.empty()) util::Tracer::instance().enable();
 
   util::Timer t;
   align::OstreamSamSink sink(std::cout);
@@ -279,6 +474,18 @@ int cmd_mem(int argc, char** argv) {
               << " rescue_windows=" << c.pe_rescue_windows
               << " rescue_jobs=" << c.pe_rescue_jobs
               << " rescue_hits=" << c.pe_rescue_hits << '\n';
+  }
+  if (!trace_path.empty()) finish_trace(trace_path);
+  if (!metrics_path.empty()) {
+    util::PerfSample hw;
+    if (perf) hw = perf->stop();
+    if (!write_mem_metrics(metrics_path, stream.metrics(),
+                           stream.stats().counters, stream.stats().reads,
+                           hw.valid ? &hw : nullptr, t.seconds()))
+      std::cerr << "[mem2] warning: cannot write metrics file " << metrics_path
+                << '\n';
+    else
+      std::cerr << "[mem2] metrics -> " << metrics_path << '\n';
   }
   return 0;
 }
@@ -358,6 +565,7 @@ align::Status run_client(serve::ServiceStream& stream, const StreamSpec& spec,
 int cmd_serve(int argc, char** argv) {
   serve::ServeOptions sopt;
   int batch_size = 512;
+  std::string trace_path, metrics_path;
   long long metrics_interval = 0;
   long long shutdown_grace_ms = 5000;
   long long cancel_after_ms = 0;
@@ -399,6 +607,10 @@ int cmd_serve(int argc, char** argv) {
       if (!parse_arg("--metrics-interval", argv[++i], 1, 3600, v))
         return usage();
       metrics_interval = v;
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       std::cerr << "mem2_cli: unknown option " << argv[i] << '\n';
       return usage();
@@ -418,6 +630,14 @@ int cmd_serve(int argc, char** argv) {
 
   std::cerr << "[mem2] loading index " << argv[i] << "...\n";
   const auto index = index::load_index(argv[i]);
+  // Open hw counters (inherit=1) and enable tracing before the service
+  // spawns its pool: threads created after this point are covered.
+  std::unique_ptr<util::PerfCounters> perf;
+  if (!metrics_path.empty()) {
+    perf = std::make_unique<util::PerfCounters>(/*inherit=*/true);
+    perf->start();
+  }
+  if (!trace_path.empty()) util::Tracer::instance().enable();
   serve::AlignService service(index, sopt);
   if (!service.ok()) return fail(service.status());
   std::cerr << "[mem2] serving " << specs.size() << " stream(s), "
@@ -456,7 +676,14 @@ int cmd_serve(int argc, char** argv) {
       while (!done.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::seconds(metrics_interval));
         if (done.load(std::memory_order_acquire)) break;
-        std::cerr << "[mem2] " << service.metrics().summary() << '\n';
+        const serve::ServiceMetrics m = service.metrics();
+        std::cerr << "[mem2] " << m.summary() << '\n';
+        // Live exposition: rewrite the snapshot each tick so a scraper
+        // tailing the file sees fresh data (hw counters land at exit).
+        if (!metrics_path.empty() &&
+            !write_serve_metrics(metrics_path, m, nullptr, t.seconds()))
+          std::cerr << "[mem2] warning: cannot write metrics file "
+                    << metrics_path << '\n';
       }
     });
   }
@@ -532,6 +759,17 @@ int cmd_serve(int argc, char** argv) {
   }
   std::cerr << "[mem2] " << service.metrics().summary() << " | wall "
             << t.seconds() << "s\n";
+  if (!trace_path.empty()) finish_trace(trace_path);
+  if (!metrics_path.empty()) {
+    util::PerfSample hw;
+    if (perf) hw = perf->stop();
+    if (!write_serve_metrics(metrics_path, service.metrics(),
+                             hw.valid ? &hw : nullptr, t.seconds()))
+      std::cerr << "[mem2] warning: cannot write metrics file " << metrics_path
+                << '\n';
+    else
+      std::cerr << "[mem2] metrics -> " << metrics_path << '\n';
+  }
   if (!first_error.ok()) return exit_code(first_error.code());
   return 0;
 }

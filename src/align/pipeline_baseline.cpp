@@ -10,6 +10,7 @@
 
 #include "align/driver.h"
 #include "align/sam_format.h"
+#include "util/trace.h"
 
 namespace mem2::align {
 
@@ -36,10 +37,12 @@ void align_reads_baseline(const index::Mem2Index& index,
   std::vector<util::StageTimes> thread_stages(static_cast<std::size_t>(options.threads));
   std::vector<util::SwCounters> thread_counters(static_cast<std::size_t>(options.threads));
   std::vector<std::uint64_t> thread_ext(static_cast<std::size_t>(options.threads), 0);
+  const std::uint32_t trace_pid = util::trace_stream_id();
 
 #pragma omp parallel num_threads(options.threads)
   {
     const int tid = omp_get_thread_num();
+    util::TraceStreamScope trace_ctx(trace_pid);
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
     util::CounterCapture capture;
     smem::SmemWorkspace ws;
@@ -54,6 +57,7 @@ void align_reads_baseline(const index::Mem2Index& index,
 
       // SMEM.
       {
+        util::TraceSpan span("smem");
         util::ScopedStage s(st, util::Stage::kSmem);
         smem::collect_smems(index.fm128(), query, options.mem.seeding, smems, ws,
                             no_prefetch);
@@ -61,6 +65,7 @@ void align_reads_baseline(const index::Mem2Index& index,
       // SAL (concrete lambda: the LF-walk lookup inlines, no std::function).
       std::vector<chain::Seed> seeds;
       {
+        util::TraceSpan span("sal");
         util::ScopedStage s(st, util::Stage::kSal);
         chain::seeds_from_smems(
             smems, options.mem.chaining,
@@ -70,6 +75,7 @@ void align_reads_baseline(const index::Mem2Index& index,
       std::vector<chain::Chain> chains;
       double frac_rep;
       {
+        util::TraceSpan span("chain");
         util::ScopedStage s(st, util::Stage::kChain);
         frac_rep = chain::repetitive_fraction(
             smems, static_cast<int>(query.size()), options.mem.chaining.max_occ);
@@ -88,6 +94,7 @@ void align_reads_baseline(const index::Mem2Index& index,
               : params_(p), st_(st) {}
           bsw::KswResult extend(int, int, int, int, const bsw::ExtendJob& job) override {
             ++calls;
+            util::TraceSpan span("bsw");
             util::ScopedStage s(st_, util::Stage::kBsw);
             return bsw::ksw_extend_scalar(job, params_);
           }
@@ -99,6 +106,7 @@ void align_reads_baseline(const index::Mem2Index& index,
         };
         const double bsw_before = st[util::Stage::kBsw];
         {
+          util::TraceSpan span("bsw-pre");
           util::ScopedStage pre(st, util::Stage::kBswPre);
           CountingScalarSource source(options.mem.ksw, st);
           process_chains(ctx, chains, source, regs);
@@ -110,6 +118,7 @@ void align_reads_baseline(const index::Mem2Index& index,
       }
       // SAM.
       {
+        util::TraceSpan span("sam-emit");
         util::ScopedStage s(st, util::Stage::kSamForm);
         sort_dedup_regions(regs, options.mem);
         mark_primary(regs, options.mem);

@@ -44,6 +44,7 @@
 #include "util/arena.h"
 #include "util/fault_injector.h"
 #include "util/omp_guard.h"
+#include "util/trace.h"
 
 namespace mem2::align {
 
@@ -220,6 +221,10 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
   bsw::BswExecutor& executor = ws.executor;
   const int bsw_threads = executor.threads();
   util::StageTimes& st0 = thread_stages[0];  // serial-section accounting
+  // Stream id for span attribution: OpenMP spawns fresh threads whose
+  // thread-local trace context is empty, so each parallel region below
+  // re-seeds it from the orchestrating thread's value.
+  const std::uint32_t trace_pid = util::trace_stream_id();
   // Exceptions thrown inside the parallel regions below (index invariant
   // violations, bad_alloc, injected faults) are captured per-iteration and
   // rethrown on this thread after each region joins, so they reach the
@@ -236,6 +241,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
   // additionally reserves the reverse-complement and complement buffers the
   // rescue jobs view; they are filled lazily in the rescue harvest.
   {
+    util::TraceSpan encode_span("encode");
     util::ScopedStage s(st0, util::Stage::kMisc);
     for (int i = 0; i < nb; ++i) {
       ReadState& rs = states[static_cast<std::size_t>(i)];
@@ -276,8 +282,10 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
 #pragma omp parallel num_threads(n_threads)
   {
     const int tid = omp_get_thread_num();
+    util::TraceStreamScope trace_ctx(trace_pid);
     util::CounterCapture capture;  // per-session delta, not a TLS reset
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
+    util::TraceSpan smem_span("smem");
     util::Timer timer;
 #pragma omp for schedule(dynamic, 1)
     for (int g = 0; g < n_groups; ++g) {
@@ -295,8 +303,10 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
       });
     }
     st[util::Stage::kSmem] += timer.seconds();
+    smem_span.finish();
 
     // --- SAL stage: batched gather, SA lines prefetched in waves ---
+    util::TraceSpan sal_span("sal");
     timer.restart();
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
@@ -307,8 +317,10 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
       });
     }
     st[util::Stage::kSal] += timer.seconds();
+    sal_span.finish();
 
     // --- CHAIN stage ---
+    util::TraceSpan chain_span("chain");
     timer.restart();
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
@@ -323,8 +335,10 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
       });
     }
     st[util::Stage::kChain] += timer.seconds();
+    chain_span.finish();
 
     // --- BSW pre-processing: chain windows + table layout ---
+    util::TraceSpan pre_span("bsw-pre");
     timer.restart();
 #pragma omp for schedule(dynamic, 8)
     for (int i = 0; i < nb; ++i) {
@@ -345,6 +359,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
       });
     }
     st[util::Stage::kBswPre] += timer.seconds();
+    pre_span.finish();
     thread_counters[static_cast<std::size_t>(tid)] += capture.take();
   }
   guard.rethrow();
@@ -356,6 +371,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
   // threads.  The pooled list and every result are bit-identical to the
   // serial path for any thread count. ---
   {
+    util::TraceSpan bsw_span("bsw");
     util::Timer bsw_timer;
     util::CounterCapture capture;  // banks the executor's reduced counters
     // Enumerate items [0, n_items) into per-block job lists built
@@ -386,6 +402,7 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
     };
 
     auto run_round = [&]() {
+      util::TraceSpan round_span("bsw-round");
       executor.run(jobs, results, options.mem.ksw, options.bsw,
                    stats ? &stats->bsw_batch : nullptr);
       for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -480,6 +497,8 @@ void batch_regions(const index::Mem2Index& index, std::span<const seq::Read> rea
 #pragma omp parallel num_threads(n_threads)
   {
     const int tid = omp_get_thread_num();
+    util::TraceStreamScope trace_ctx(trace_pid);
+    util::TraceSpan sam_span("sam-emit");
     util::CounterCapture capture;
     util::StageTimes& st = thread_stages[static_cast<std::size_t>(tid)];
 #pragma omp for schedule(dynamic, 8)
@@ -531,6 +550,8 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
   const int n_pairs = nb / 2;
   std::vector<ReadState>& states = ws.states;
   util::StageTimes& st0 = ws.thread_stages[0];
+  const std::uint32_t trace_pid = util::trace_stream_id();
+  util::TraceSpan pair_span("pair");
   util::Timer pair_timer;
   util::CounterCapture capture;  // banks the serial rescue rounds' counters
   util::OmpExceptionGuard guard;  // see batch_regions
@@ -559,6 +580,8 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
 #pragma omp parallel for schedule(static, 1) num_threads(static_cast<int>(ws.blocks.size()))
   for (int b = 0; b < n_blocks; ++b) {
     guard.run([&] {
+    util::TraceStreamScope trace_ctx(trace_pid);
+    util::TraceSpan harvest_span("pair-harvest");
     PairBlock& pb = ws.pair_blocks[static_cast<std::size_t>(b)];
     pb.attempts.clear();
     pb.windows = pb.win_skipped = pb.win_deduped = 0;
@@ -828,6 +851,8 @@ void batch_pair_stage(const index::Mem2Index& index, std::span<const seq::Read> 
 #pragma omp parallel num_threads(n_threads)
   {
     const int tid = omp_get_thread_num();
+    util::TraceStreamScope trace_ctx(trace_pid);
+    util::TraceSpan finalize_span("pair-finalize");
     util::CounterCapture finalize_capture;
     util::StageTimes& st = ws.thread_stages[static_cast<std::size_t>(tid)];
     util::Timer timer;

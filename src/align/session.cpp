@@ -26,16 +26,26 @@
 #include "util/common.h"
 #include "util/fault_injector.h"
 #include "util/retry.h"
+#include "util/trace.h"
+#include "util/tsc.h"
 
 namespace mem2::align {
 
-double StreamMetrics::quantile(double q) const {
-  if (batch_seconds.empty()) return 0.0;
-  std::vector<double> s(batch_seconds);
-  std::sort(s.begin(), s.end());
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(s.size() - 1) + 0.5);
-  return s[std::min(idx, s.size() - 1)];
+namespace {
+/// Process-unique stream ids for trace attribution; 0 is reserved for
+/// non-stream (process-scope) work.
+std::atomic<std::uint32_t> g_next_trace_id{1};
+}  // namespace
+
+StreamMetrics& StreamMetrics::operator+=(const StreamMetrics& o) {
+  batches += o.batches;
+  records += o.records;
+  write_retries += o.write_retries;
+  queue_hwm = std::max(queue_hwm, o.queue_hwm);
+  batch_latency += o.batch_latency;
+  queue_wait += o.queue_wait;
+  for (std::size_t s = 0; s < kStages; ++s) stage_seconds[s] += o.stage_seconds[s];
+  return *this;
 }
 
 Status validate_session(const index::Mem2Index& index,
@@ -59,6 +69,7 @@ SessionCore::SessionCore(const index::Mem2Index& index, DriverOptions options,
                          std::condition_variable* shared_work_cv,
                          std::shared_ptr<void> keep_alive, util::Clock* clock)
     : index_(index),
+      trace_id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)),
       options_(std::move(options)),
       worker_options_(options_),
       sink_(sink),
@@ -89,6 +100,7 @@ void SessionCore::cancel(Status reason) {
   // overwrite the cancel reason with the generic cancelled_error mapping.
   fail(reason);
   cancel_token_.cancel(std::move(reason));
+  util::trace_instant("cancel", trace_id_);
 }
 
 Status SessionCore::snapshot_status() const {
@@ -124,6 +136,7 @@ Status SessionCore::enqueue(SessionWorkItem item) {
   if (failed_.load(std::memory_order_acquire)) return snapshot_status();
   item.seq = next_seq_++;
   item.enqueued = clock_->now();
+  item.enqueued_tsc = util::tsc_now();
   queue_.push_back(std::move(item));
   if (queue_.size() > queue_hwm_.load(std::memory_order_relaxed))
     queue_hwm_.store(queue_.size(), std::memory_order_relaxed);
@@ -296,7 +309,15 @@ void SessionCore::retire_locked() {
 }
 
 void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
+  // All spans this batch emits (including those from OpenMP threads the
+  // pipeline re-seeds) land in this stream's Chrome lane.
+  util::TraceStreamScope trace_scope(trace_id_);
+  const double queue_wait =
+      std::chrono::duration<double>(clock_->now() - item.enqueued).count();
+  util::trace_interval("queue-wait", item.enqueued_tsc, util::tsc_now(),
+                       trace_id_);
   if (!failed_.load(std::memory_order_acquire)) {
+    util::TraceSpan batch_span("batch");
     const std::string first_read =
         item.reads.empty() ? std::string() : item.reads.front().name;
     std::vector<io::SamRecord> flat;
@@ -353,17 +374,21 @@ void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
             if (!sink_.can_retry_writes()) policy.max_attempts = 1;
             auto& sink = sink_;
             auto& records = it->second;
+            util::TraceSpan write_span("sink-write");
             const int attempts = util::with_retry(
                 policy,
                 [&](int attempt) {
                   if (attempt == 1)
                     sink.write_records(std::move(records));
-                  else
+                  else {
+                    util::trace_instant("sink-retry", trace_id_);
                     sink.retry_write();
+                  }
                 },
                 [](const std::exception& e) {
                   return dynamic_cast<const io_error*>(&e) != nullptr;
                 });
+            write_span.finish();
             write_retries += static_cast<std::uint64_t>(attempts - 1);
             records_written_ += n;
           }
@@ -385,8 +410,12 @@ void SessionCore::process(SessionWorkItem item, BatchWorkspace& workspace) {
       stats_ += batch_stats;
       ++metrics_.batches;
       metrics_.write_retries += write_retries;
-      if (metrics_.batch_seconds.size() < StreamMetrics::kMaxSamples)
-        metrics_.batch_seconds.push_back(latency);
+      metrics_.batch_latency.record(latency);
+      metrics_.queue_wait.record(queue_wait);
+      for (std::size_t s = 0; s < StreamMetrics::kStages; ++s) {
+        const double sec = batch_stats.stages.seconds[s];
+        if (sec > 0) metrics_.stage_seconds[s].record(sec);
+      }
     }
   }
 

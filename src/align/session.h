@@ -19,6 +19,7 @@
 // lock on mu() around the *_locked accessors, then run process() unlocked.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -35,6 +36,8 @@
 #include "align/sam_sink.h"
 #include "align/status.h"
 #include "util/clock.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace mem2::align {
 
@@ -45,22 +48,34 @@ struct SessionWorkItem {
   std::vector<seq::Read> owned;
   std::span<const seq::Read> reads;
   std::chrono::steady_clock::time_point enqueued{};
+  std::uint64_t enqueued_tsc = 0;  // queue-wait span start (tracer timeline)
 };
 
-/// Per-stream observability: batch counts, queue-depth high-water mark and
-/// a bounded sample of end-to-end batch latencies (enqueue -> records
-/// emitted), from which the service reports p50/p99 per stream.
+/// Per-stream observability: batch/record counts, queue-depth high-water
+/// mark, and log2-bucket histograms (util::Histogram) of end-to-end batch
+/// latency (enqueue -> records emitted), queue wait (enqueue -> dequeue)
+/// and per-stage batch seconds.  Histograms replace the old bounded
+/// latency-sample vector: constant memory, mergeable across streams, one
+/// percentile implementation shared with the serve layer.  The per-stage
+/// histograms are the cost signal ROADMAP item 2's latency-aware
+/// scheduling consumes (where does each stream's batch time go).
 struct StreamMetrics {
-  std::uint64_t batches = 0;         // batches fully processed
-  std::uint64_t records = 0;         // SAM records written to the sink
-  std::uint64_t write_retries = 0;   // transient sink-write retries absorbed
-  std::size_t queue_hwm = 0;         // max batches ever waiting in the queue
-  std::vector<double> batch_seconds; // latency sample (capped; see kMaxSamples)
-  static constexpr std::size_t kMaxSamples = 1 << 16;
+  static constexpr std::size_t kStages =
+      static_cast<std::size_t>(util::Stage::kCount);
 
-  double p50() const { return quantile(0.50); }
-  double p99() const { return quantile(0.99); }
-  double quantile(double q) const;
+  std::uint64_t batches = 0;        // batches fully processed
+  std::uint64_t records = 0;        // SAM records written to the sink
+  std::uint64_t write_retries = 0;  // transient sink-write retries absorbed
+  std::size_t queue_hwm = 0;        // max batches ever waiting in the queue
+  util::Histogram batch_latency;    // seconds, enqueue -> emitted
+  util::Histogram queue_wait;       // seconds, enqueue -> dequeued
+  std::array<util::Histogram, kStages> stage_seconds;  // per-batch stage cost
+
+  double p50() const { return batch_latency.p50(); }
+  double p99() const { return batch_latency.p99(); }
+
+  /// Fold another stream's metrics in (service-wide aggregation).
+  StreamMetrics& operator+=(const StreamMetrics& o);
 };
 
 /// Validate a session configuration against an index: driver options plus
@@ -127,6 +142,9 @@ class SessionCore {
   const pair::InsertStats& pair_stats() const { return pe_stats_; }
   StreamMetrics metrics_snapshot() const;
   const DriverOptions& options() const { return options_; }
+  /// Process-unique stream id; the tracer's Chrome `pid` lane for every
+  /// span this session's batches emit.
+  std::uint32_t trace_id() const { return trace_id_; }
 
   // --- Worker side: lock mu() around the *_locked calls ---
 
@@ -152,6 +170,7 @@ class SessionCore {
   void retire_locked();
 
   const index::Mem2Index& index_;
+  const std::uint32_t trace_id_;
   const DriverOptions options_;
   DriverOptions worker_options_;  // threads=1 when the pool supplies >1
   SamSink& sink_;

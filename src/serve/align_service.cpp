@@ -13,11 +13,13 @@
 #include "serve/align_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <sstream>
 #include <thread>
 
 #include "align/session.h"
+#include "util/trace.h"
 
 namespace mem2::serve {
 
@@ -39,25 +41,6 @@ align::Status validate_serve_options(const ServeOptions& options) {
   return align::Status();
 }
 
-namespace {
-
-double quantile_of(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
-  return v[std::min(idx, v.size() - 1)];
-}
-
-}  // namespace
-
-double ServiceMetrics::admission_wait_p50() const {
-  return quantile_of(admission_wait_seconds, 0.50);
-}
-
-double ServiceMetrics::admission_wait_p99() const {
-  return quantile_of(admission_wait_seconds, 0.99);
-}
-
 std::string ServiceMetrics::summary() const {
   std::ostringstream os;
   os << "streams active=" << active_streams << " peak=" << peak_streams
@@ -70,6 +53,17 @@ std::string ServiceMetrics::summary() const {
      << " batches=" << batches << " write_retries=" << write_retries
      << " bsw_pairs=" << counters.bsw_pairs
      << " smems=" << counters.smems_found;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                " | batch p50=%.1fms p99=%.1fms qwait p50=%.1fms p99=%.1fms",
+                batch_latency.p50() * 1e3, batch_latency.p99() * 1e3,
+                queue_wait.p50() * 1e3, queue_wait.p99() * 1e3);
+  os << buf;
+  if (admission_wait.count() > 0) {
+    std::snprintf(buf, sizeof buf, " admission p50=%.1fms p99=%.1fms",
+                  admission_wait_p50() * 1e3, admission_wait_p99() * 1e3);
+    os << buf;
+  }
   return os.str();
 }
 
@@ -176,6 +170,7 @@ struct AlignService::Impl {
         if (core->in_flight_locked() > 0 && !token.cancelled() &&
             now - token.last_beat() >= stall) {
           ++retired.streams_cancelled;
+          util::trace_instant("watchdog-fire", core->trace_id());
           core->cancel(
               align::Status::deadline_exceeded(
                   "watchdog: batch made no progress for " +
@@ -201,6 +196,10 @@ struct AlignService::Impl {
       retired.records += m.records;
       retired.batches += m.batches;
       retired.write_retries += m.write_retries;
+      retired.batch_latency += m.batch_latency;
+      retired.queue_wait += m.queue_wait;
+      for (std::size_t i = 0; i < m.stage_seconds.size(); ++i)
+        retired.stage_seconds[i] += m.stage_seconds[i];
       ++(ok ? retired.streams_completed : retired.streams_failed);
     }
     // Capacity freed: the front queued open (if any) can admit itself, and
@@ -380,6 +379,8 @@ ServiceStream AlignService::open(const align::DriverOptions& options,
       const std::uint64_t ticket = im.next_ticket++;
       im.open_queue.push_back(ticket);
       ++im.retired.streams_queued;
+      // pid 0: the stream has no trace id until the core is admitted.
+      util::TraceSpan wait_span("admission-wait", 0);
       const auto start = im.clock->now();
       const auto deadline =
           start + std::chrono::milliseconds(im.opts.admission_timeout_ms);
@@ -391,11 +392,10 @@ ServiceStream AlignService::open(const align::DriverOptions& options,
                             !im.shutdown;
       im.open_queue.erase(
           std::find(im.open_queue.begin(), im.open_queue.end(), ticket));
+      wait_span.finish();
       const double waited =
           std::chrono::duration<double>(im.clock->now() - start).count();
-      if (im.retired.admission_wait_seconds.size() <
-          align::StreamMetrics::kMaxSamples)
-        im.retired.admission_wait_seconds.push_back(waited);
+      im.retired.admission_wait.record(waited);
       if (!admitted) {
         // Whether we timed out or the line moved on without us, the next
         // waiter may now be admissible.
@@ -495,6 +495,10 @@ ServiceMetrics AlignService::metrics() const {
     m.records += sm.records;
     m.batches += sm.batches;
     m.write_retries += sm.write_retries;
+    m.batch_latency += sm.batch_latency;
+    m.queue_wait += sm.queue_wait;
+    for (std::size_t i = 0; i < sm.stage_seconds.size(); ++i)
+      m.stage_seconds[i] += sm.stage_seconds[i];
   }
   return m;
 }

@@ -43,13 +43,16 @@
 // producer thread.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "align/aligner.h"
+#include "align/session.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 
 namespace mem2::serve {
 
@@ -100,11 +103,20 @@ struct ServiceMetrics {
   std::uint64_t write_retries = 0;      // transient sink retries absorbed
   util::SwCounters counters;  // merged per-session counters
 
-  /// Admission queue-wait sample (seconds), one entry per open() that went
-  /// through the queue — admitted or timed out; capped like StreamMetrics.
-  std::vector<double> admission_wait_seconds;
-  double admission_wait_p50() const;
-  double admission_wait_p99() const;
+  /// Admission queue wait (seconds), one observation per open() that went
+  /// through the queue — admitted or timed out.  Shares the log2-bucket
+  /// util::Histogram with StreamMetrics, so the service has exactly one
+  /// percentile implementation.
+  util::Histogram admission_wait;
+  double admission_wait_p50() const { return admission_wait.p50(); }
+  double admission_wait_p99() const { return admission_wait.p99(); }
+
+  /// Per-batch distributions merged across every session, retired and
+  /// live: end-to-end batch latency, queue wait, and per-stage batch
+  /// seconds (indexed by util::Stage — the cost-weighted-scheduling feed).
+  util::Histogram batch_latency;
+  util::Histogram queue_wait;
+  std::array<util::Histogram, align::StreamMetrics::kStages> stage_seconds;
 
   /// One-line rendering for periodic stderr snapshots.
   std::string summary() const;

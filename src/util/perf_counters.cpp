@@ -19,7 +19,7 @@ struct PerfCounters::Event {
 
 namespace {
 
-int open_event(std::uint32_t type, std::uint64_t config) {
+int open_event(std::uint32_t type, std::uint64_t config, bool inherit) {
   perf_event_attr attr{};
   attr.size = sizeof(attr);
   attr.type = type;
@@ -27,13 +27,14 @@ int open_event(std::uint32_t type, std::uint64_t config) {
   attr.disabled = 1;
   attr.exclude_kernel = 1;
   attr.exclude_hv = 1;
+  attr.inherit = inherit ? 1 : 0;
   return static_cast<int>(
       syscall(SYS_perf_event_open, &attr, 0 /*self*/, -1 /*any cpu*/, -1, 0));
 }
 
 }  // namespace
 
-PerfCounters::PerfCounters() {
+PerfCounters::PerfCounters(bool inherit) {
   // Order must match the slot order in stop().
   const std::uint64_t configs[4] = {
       PERF_COUNT_HW_INSTRUCTIONS,
@@ -42,7 +43,7 @@ PerfCounters::PerfCounters() {
       PERF_COUNT_HW_CACHE_MISSES,
   };
   for (std::uint64_t cfg : configs)
-    events_.push_back(Event{open_event(PERF_TYPE_HARDWARE, cfg)});
+    events_.push_back(Event{open_event(PERF_TYPE_HARDWARE, cfg, inherit)});
   available_ = events_[0].fd >= 0;
 }
 
@@ -80,7 +81,7 @@ PerfSample PerfCounters::stop() {
 
 #else  // !__linux__
 
-PerfCounters::PerfCounters() = default;
+PerfCounters::PerfCounters(bool) {}
 PerfCounters::~PerfCounters() = default;
 void PerfCounters::start() {}
 PerfSample PerfCounters::stop() { return {}; }

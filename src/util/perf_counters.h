@@ -26,7 +26,11 @@ struct PerfSample {
 
 class PerfCounters {
  public:
-  PerfCounters();
+  /// `inherit` extends counting to threads created *after* construction
+  /// (perf_event_attr.inherit) — what a run-wide sample wants: construct
+  /// before spawning the worker pool and the whole process is covered.
+  /// The default counts only the calling thread (kernel-bench usage).
+  explicit PerfCounters(bool inherit = false);
   ~PerfCounters();
   PerfCounters(const PerfCounters&) = delete;
   PerfCounters& operator=(const PerfCounters&) = delete;

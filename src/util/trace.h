@@ -1,0 +1,177 @@
+// Low-overhead span tracer: per-thread lock-free ring buffers of
+// TSC-stamped spans, exportable as Chrome trace-event JSON
+// (chrome://tracing / Perfetto) with pid = stream and tid = worker.
+//
+// Cost model: when tracing is disabled a TraceSpan is one relaxed atomic
+// load and a branch — cheap enough to leave compiled into every stage
+// boundary of the batch pipeline and even per-read baseline stages.
+// When enabled, record() is a TSC read plus one store into the calling
+// thread's private ring (no shared cache lines, no locks); the ring
+// wraps overwriting the oldest spans, so a run longer than the ring
+// keeps its most recent window and counts the rest in dropped().
+//
+// Alongside the ring, each thread keeps exact per-span-name aggregates
+// (total ticks + count) that survive wraparound — bench_profile derives
+// its stage table from these, and the CLI exports them as
+// mem2_span_seconds_total so the trace and metrics views agree.
+//
+// Export is snapshot-at-quiescence: call write_chrome_trace() after the
+// traced work has drained (end of run, after Stream::finish /
+// AlignService::shutdown), not concurrently with producers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/tsc.h"
+
+namespace mem2::util {
+
+namespace trace_detail {
+extern std::atomic<bool> g_enabled;
+}
+
+inline bool trace_enabled() {
+  return trace_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One ring slot.  `name` must be a string with static storage duration
+/// (the instrumentation sites pass literals).  Instant events (cancel,
+/// watchdog fire) are encoded as t1 == t0.
+struct TraceEvent {
+  const char* name;
+  std::uint64_t t0, t1;  // tsc stamps
+  std::uint32_t pid;     // stream id; 0 = process-scope work
+};
+
+/// Exact per-name totals, merged across threads at export time.
+struct TraceAgg {
+  std::string name;
+  std::uint64_t ticks = 0;
+  std::uint64_t count = 0;
+  double seconds() const { return tsc_to_seconds(ticks); }
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Clears all rings/aggregates, stamps the trace epoch, and turns the
+  /// fast-path flag on.  Call while no traced work is running.
+  void enable();
+  void disable() { trace_detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+  /// Per-thread ring capacity (entries).  Takes effect at the next
+  /// enable(); default 1 << 16 (~1.5 MiB per participating thread).
+  void set_ring_capacity(std::size_t entries);
+
+  void record(const char* name, std::uint64_t t0, std::uint64_t t1,
+              std::uint32_t pid);
+  void instant(const char* name, std::uint32_t pid) {
+    if (!trace_enabled()) return;
+    const std::uint64_t t = tsc_now();
+    record(name, t, t, pid);
+  }
+
+  std::uint64_t recorded() const;  // total events since enable()
+  std::uint64_t dropped() const;   // events overwritten by ring wrap
+
+  /// Per-name totals merged across all threads (exact under wraparound).
+  std::vector<TraceAgg> aggregate() const;
+
+  /// Chrome trace-event JSON ("X" duration + "i" instant events, ts/dur
+  /// in microseconds since enable(), pid = stream, tid = worker), with
+  /// process_name/thread_name metadata.
+  void write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write to `path`; returns false on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+  struct Ring;
+  Ring& self_ring();
+
+  mutable std::mutex mu_;  // guards rings_ topology, not hot-path writes
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = std::size_t{1} << 16;
+  std::uint64_t epoch_tsc_ = 0;
+};
+
+// ------------------------------------------------------ stream-id context
+
+/// Current thread's stream id for span attribution (Chrome pid lane).
+/// Session workers set it around batch processing; OpenMP regions inside
+/// the pipeline re-seed it from the orchestrating thread's value.
+std::uint32_t trace_stream_id();
+void set_trace_stream_id(std::uint32_t pid);
+
+/// RAII set/restore of the thread-local stream id.
+class TraceStreamScope {
+ public:
+  explicit TraceStreamScope(std::uint32_t pid)
+      : saved_(trace_stream_id()) {
+    set_trace_stream_id(pid);
+  }
+  ~TraceStreamScope() { set_trace_stream_id(saved_); }
+  TraceStreamScope(const TraceStreamScope&) = delete;
+  TraceStreamScope& operator=(const TraceStreamScope&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
+
+// ----------------------------------------------------------------- spans
+
+/// RAII span.  Disabled cost: one relaxed load + branch in the ctor and a
+/// null check in the dtor.  The stream id is sampled at *end* of scope
+/// from the thread-local context unless given explicitly.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      t0_ = tsc_now();
+    }
+  }
+  TraceSpan(const char* name, std::uint32_t pid) : TraceSpan(name) {
+    pid_ = pid;
+    explicit_pid_ = true;
+  }
+  ~TraceSpan() { finish(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// End the span early (idempotent).
+  void finish() {
+    if (name_ == nullptr) return;
+    Tracer::instance().record(name_, t0_, tsc_now(),
+                              explicit_pid_ ? pid_ : trace_stream_id());
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+  std::uint32_t pid_ = 0;
+  bool explicit_pid_ = false;
+};
+
+/// Record an already-measured interval (e.g. queue wait whose start was
+/// stamped on another thread).  No-op while disabled.
+inline void trace_interval(const char* name, std::uint64_t t0,
+                           std::uint64_t t1, std::uint32_t pid) {
+  if (!trace_enabled()) return;
+  Tracer::instance().record(name, t0, t1, pid);
+}
+
+/// Instant event (zero-duration marker, e.g. cancel / watchdog fire).
+inline void trace_instant(const char* name, std::uint32_t pid) {
+  Tracer::instance().instant(name, pid);
+}
+
+}  // namespace mem2::util

@@ -365,7 +365,7 @@ TEST(Resilience, AdmissionQueueIsFifoBoundedAndTimesOut) {
   EXPECT_EQ(m.streams_timed_out, 1u);
   EXPECT_EQ(m.streams_rejected, 2u);  // D (queue full) + C (timeout)
   EXPECT_EQ(m.pending_opens, 0);
-  ASSERT_EQ(m.admission_wait_seconds.size(), 2u);  // B and C went via queue
+  ASSERT_EQ(m.admission_wait.count(), 2u);  // B and C went via queue
   EXPECT_GE(m.admission_wait_p99(), m.admission_wait_p50());
   EXPECT_NE(m.summary().find("timed_out=1"), std::string::npos);
 }

@@ -315,7 +315,7 @@ TEST(Serve, StreamAndServiceMetrics) {
   EXPECT_EQ(m.records, sink.records().size());
   EXPECT_GE(m.queue_hwm, 1u);
   EXPECT_LE(m.queue_hwm, 2u);  // bounded by queue_depth
-  EXPECT_EQ(m.batch_seconds.size(), n_batches);
+  EXPECT_EQ(m.batch_latency.count(), n_batches);
   EXPECT_GE(m.p99(), m.p50());
   EXPECT_GT(m.p50(), 0.0);
 

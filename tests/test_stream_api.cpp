@@ -257,7 +257,7 @@ TEST(StreamApi, MetricsTrackBatchesRecordsAndQueueDepth) {
   const std::size_t n_batches = (fx.reads.size() + 15) / 16;
   EXPECT_EQ(m.batches, n_batches);
   EXPECT_EQ(m.records, sink.records().size());
-  EXPECT_EQ(m.batch_seconds.size(), n_batches);
+  EXPECT_EQ(m.batch_latency.count(), n_batches);
   EXPECT_GE(m.queue_hwm, 1u);
   EXPECT_LE(m.queue_hwm, 2u);  // bounded by queue_depth
   EXPECT_GE(m.p99(), m.p50());

@@ -1,0 +1,305 @@
+// Span tracer (util/trace.h): ring wraparound must keep the newest window
+// and count the rest in dropped(), per-name aggregates must stay exact
+// under wraparound and merge across threads, the Chrome trace-event export
+// must be well-formed JSON (parsed here with a strict validator) with
+// pid = stream / tid = worker attribution, and — the contract the whole
+// feature rides on — enabling tracing must not change the SAM output.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/aligner.h"
+#include "seq/genome_sim.h"
+#include "seq/read_sim.h"
+#include "util/trace.h"
+
+namespace mem2::util {
+namespace {
+
+// Minimal strict JSON validator (RFC 8259 grammar, no semantics): enough
+// to prove the exporter never emits a torn document, whatever span names
+// or counts land in the ring.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool eof() const { return i_ >= s_.size(); }
+  char peek() const { return s_[i_]; }
+  bool eat(char c) {
+    if (eof() || s_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+  void ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++i_;
+  }
+  bool lit(const char* t) {
+    for (; *t; ++t)
+      if (!eat(*t)) return false;
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = s_[i_++];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k)
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s_[i_++])))
+              return false;
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (eat('-')) {
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    if (!eof() && peek() == '.') {
+      ++i_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++i_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++i_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    return i_ > start;
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    ws();
+    if (eat('}')) return true;
+    do {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!eat(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    ws();
+    if (eat(']')) return true;
+    do {
+      ws();
+      if (!value()) return false;
+      ws();
+    } while (eat(','));
+    return eat(']');
+  }
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+std::string export_json() {
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  return os.str();
+}
+
+std::uint64_t agg_count(const char* name) {
+  for (const auto& a : Tracer::instance().aggregate())
+    if (a.name == std::string(name)) return a.count;
+  return 0;
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  auto& tracer = Tracer::instance();
+  tracer.set_ring_capacity(std::size_t{1} << 10);
+  tracer.enable();
+  tracer.disable();
+  {
+    TraceSpan span("should-not-appear");
+  }
+  trace_instant("nor-this", 0);
+  trace_interval("nor-that", 1, 2, 0);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.aggregate().empty());
+}
+
+TEST(Trace, SpansInstantsAndIntervalsRecord) {
+  auto& tracer = Tracer::instance();
+  tracer.set_ring_capacity(std::size_t{1} << 10);
+  tracer.enable();
+  {
+    TraceStreamScope scope(7);
+    TraceSpan span("unit-work");
+  }
+  trace_instant("unit-mark", 7);
+  trace_interval("unit-gap", tsc_now() - 100, tsc_now(), 7);
+  tracer.disable();
+
+  EXPECT_EQ(tracer.recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(agg_count("unit-work"), 1u);
+  EXPECT_EQ(agg_count("unit-mark"), 1u);
+
+  const std::string json = export_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit-work\""), std::string::npos);
+  // All three events belong to stream 7 and its lane is named.
+  EXPECT_NE(json.find("\"pid\":7"), std::string::npos);
+  EXPECT_NE(json.find("stream 7"), std::string::npos);
+  // The instant renders as a Chrome "i" phase, the span as "X".
+  EXPECT_GE(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_GE(count_occurrences(json, "\"ph\":\"X\""), 1u);
+}
+
+TEST(Trace, StreamScopeRestoresOuterId) {
+  set_trace_stream_id(3);
+  {
+    TraceStreamScope inner(9);
+    EXPECT_EQ(trace_stream_id(), 9u);
+  }
+  EXPECT_EQ(trace_stream_id(), 3u);
+  set_trace_stream_id(0);
+}
+
+TEST(Trace, RingWrapKeepsNewestWindowAndCountsDropped) {
+  auto& tracer = Tracer::instance();
+  tracer.set_ring_capacity(32);
+  tracer.enable();
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("wrap-work");
+  }
+  tracer.disable();
+
+  EXPECT_EQ(tracer.recorded(), 100u);
+  EXPECT_EQ(tracer.dropped(), 100u - 32u);
+  // Aggregates are exact despite the wrap.
+  EXPECT_EQ(agg_count("wrap-work"), 100u);
+  // The export holds exactly one ring's worth of duration events.
+  const std::string json = export_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 32u);
+}
+
+TEST(Trace, AggregatesMergeAcrossThreadsByName) {
+  auto& tracer = Tracer::instance();
+  tracer.set_ring_capacity(std::size_t{1} << 10);
+  tracer.enable();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan span("mt-work");
+      }
+    });
+  for (auto& w : workers) w.join();
+  tracer.disable();
+
+  EXPECT_EQ(agg_count("mt-work"), 150u);
+  EXPECT_EQ(tracer.recorded(), 150u);
+  const std::string json = export_json();
+  EXPECT_TRUE(JsonValidator(json).valid());
+  // Distinct rings give distinct Chrome tid lanes: at least 3 thread_name
+  // metadata entries reference a worker.
+  EXPECT_GE(count_occurrences(json, "worker "), 3u);
+}
+
+TEST(Trace, EscapesHostileSpanNames) {
+  auto& tracer = Tracer::instance();
+  tracer.set_ring_capacity(std::size_t{1} << 10);
+  tracer.enable();
+  trace_instant("quote\"back\\slash\ttab", 0);
+  tracer.disable();
+  const std::string json = export_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+}
+
+// ------------------------------------------------------------ SAM identity
+
+TEST(Trace, SamByteIdenticalWithTracingOnAndOff) {
+  seq::GenomeConfig g;
+  g.seed = 20260807;
+  g.contig_lengths = {60000};
+  g.repeat_fraction = 0.2;
+  const auto index = index::Mem2Index::build(seq::simulate_genome(g));
+  seq::ReadSimConfig r;
+  r.seed = 17;
+  r.num_reads = 120;
+  r.read_length = 101;
+  const auto reads = seq::simulate_reads(index.ref(), r);
+
+  auto& tracer = Tracer::instance();
+  tracer.set_ring_capacity(std::size_t{1} << 12);
+  for (int threads : {1, 4}) {
+    align::DriverOptions opt;
+    opt.mode = align::Mode::kBatch;
+    opt.threads = threads;
+    opt.batch_size = 32;
+
+    tracer.disable();
+    const auto off = align::align_reads(index, reads, opt);
+    tracer.enable();
+    const auto on = align::align_reads(index, reads, opt);
+    tracer.disable();
+
+    ASSERT_EQ(off.size(), on.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < off.size(); ++i)
+      ASSERT_EQ(off[i].to_line(), on[i].to_line())
+          << "threads=" << threads << " record=" << i;
+    // The traced run actually hit the pipeline instrumentation.
+    EXPECT_GT(agg_count("smem"), 0u) << "threads=" << threads;
+    EXPECT_GT(tracer.recorded(), 0u);
+    const std::string json = export_json();
+    EXPECT_TRUE(JsonValidator(json).valid());
+  }
+}
+
+}  // namespace
+}  // namespace mem2::util
