@@ -2,7 +2,8 @@
 // scaled paper datasets, cached index construction, table printing.
 //
 // Workload scale: MEM2_BENCH_SCALE (default 1.0) multiplies read counts;
-// reference size fixed at kGenomeLen.  At scale 1.0 each dataset holds
+// reference size comes from MEM2_BENCH_GENOME (default 4 Mbp; accepts K/M/G
+// suffixes, e.g. 256M for DRAM-resident runs).  At scale 1.0 each dataset holds
 // 1/100 of the paper's reads so every bench finishes in seconds on one
 // core while preserving read lengths and repeat structure.
 #pragma once
@@ -35,14 +36,41 @@ inline double bench_scale() {
   return 1.0;
 }
 
-inline constexpr std::int64_t kGenomeLen = 4'000'000;  // ~Hg38/1.5G / 375
+inline constexpr std::int64_t kDefaultGenomeLen = 4'000'000;  // ~Hg38/1.5G / 375
 
-/// Deterministic benchmark reference: 2 contigs, human-like GC, ALU-like
-/// interspersed repeats and microsatellites.
-inline seq::GenomeConfig bench_genome_config() {
+/// Reference length: MEM2_BENCH_GENOME accepts plain digits with an
+/// optional K/M/G suffix (e.g. "256M" for the chromosome-scale DRAM-resident
+/// runs); unset or unparsable falls back to the historical 4 Mbp.
+inline std::int64_t bench_genome_length() {
+  const char* env = std::getenv("MEM2_BENCH_GENOME");
+  if (!env || !*env) return kDefaultGenomeLen;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || v <= 0) return kDefaultGenomeLen;
+  if (*end == 'K' || *end == 'k') v *= 1e3;
+  else if (*end == 'M' || *end == 'm') v *= 1e6;
+  else if (*end == 'G' || *end == 'g') v *= 1e9;
+  return static_cast<std::int64_t>(v);
+}
+
+/// Deterministic benchmark reference at an arbitrary scale: human-like GC,
+/// ALU-like interspersed repeats and microsatellites.  Up to 4 Mbp the
+/// config is byte-identical to the historical 2-contig layout (cached bench
+/// indexes stay valid); from 8 Mbp up the length is split across five
+/// chromosome-like contigs so index-build and SAL paths see multi-contig
+/// geometry at scale.
+inline seq::GenomeConfig bench_genome_config_for(std::int64_t genome_len) {
   seq::GenomeConfig g;
   g.seed = 20190527;  // IPDPS'19 submission vintage
-  g.contig_lengths = {kGenomeLen * 2 / 3, kGenomeLen / 3};
+  if (genome_len >= 8'000'000) {
+    g.contig_lengths = {genome_len * 30 / 100, genome_len * 25 / 100,
+                        genome_len * 20 / 100, genome_len * 15 / 100};
+    std::int64_t used = 0;
+    for (auto l : g.contig_lengths) used += l;
+    g.contig_lengths.push_back(genome_len - used);  // exact total
+  } else {
+    g.contig_lengths = {genome_len * 2 / 3, genome_len / 3};
+  }
   g.gc_content = 0.41;
   // Calibrated against the paper's Table 1 stage profile: large families of
   // low-divergence (ALU-like) repeats are what generate the multi-locus
@@ -56,11 +84,16 @@ inline seq::GenomeConfig bench_genome_config() {
   return g;
 }
 
+inline seq::GenomeConfig bench_genome_config() {
+  return bench_genome_config_for(bench_genome_length());
+}
+
 /// Build (or load from the on-disk cache) the benchmark index.
 inline index::Mem2Index bench_index() {
+  const std::int64_t genome_len = bench_genome_length();
   const std::string cache =
       (std::filesystem::temp_directory_path() /
-       ("mem2_bench_" + std::to_string(kGenomeLen) + ".m2i"))
+       ("mem2_bench_" + std::to_string(genome_len) + ".m2i"))
           .string();
   if (std::filesystem::exists(cache)) {
     try {
@@ -71,8 +104,9 @@ inline index::Mem2Index bench_index() {
   }
   util::Timer t;
   std::fprintf(stderr, "[bench] building %lld bp index (cached at %s)...\n",
-               static_cast<long long>(kGenomeLen), cache.c_str());
-  auto index = index::Mem2Index::build(seq::simulate_genome(bench_genome_config()));
+               static_cast<long long>(genome_len), cache.c_str());
+  auto index =
+      index::Mem2Index::build(seq::simulate_genome(bench_genome_config_for(genome_len)));
   index::save_index(cache, index);
   std::fprintf(stderr, "[bench] index built in %.1fs\n", t.seconds());
   return index;

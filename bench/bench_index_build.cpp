@@ -1,0 +1,256 @@
+// Chromosome-scale index construction + DRAM-resident bandwidth validation.
+//
+// Builds the index for a multi-contig simulated reference big enough that
+// the occ tables and the flat SA spill far outside LLC (default 256 Mbp,
+// MEM2_BENCH_GENOME / --smoke override), then validates three things the
+// small-genome benches cannot:
+//
+//   1. Memory discipline: peak build RSS divided by the doubled text length
+//      must stay under --gate bytes/char (default 10; the paper's index
+//      fits chromosome-scale references in commodity DRAM).
+//   2. Determinism: the parallel SA-IS must produce byte-identical suffix
+//      arrays at 1 and 4 threads.
+//   3. DRAM-resident kernel behavior: the SMEM configurations of Table 4
+//      and the SAL comparison of Table 5, re-run against the big index so
+//      occ/SA loads actually miss cache.
+//
+// Emits BENCH_index_build.json; exits nonzero if the RSS gate or any
+// identity check fails.
+#include <cstring>
+
+#include "bench_common.h"
+#include "index/sais.h"
+#include "smem/seeding.h"
+#include "smem/smem_executor.h"
+#include "util/big_alloc.h"
+#include "util/perf_counters.h"
+
+using namespace mem2;
+
+namespace {
+
+/// Reset the kernel's peak-RSS watermark (Linux >= 4.0) so VmHWM measures
+/// only what happens after this call.  Returns false (watermark includes
+/// earlier history) when /proc is read-only.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (!f) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  std::fclose(f);
+  return ok;
+}
+
+struct Phase {
+  std::string name;
+  double seconds;
+};
+
+struct KernelRun {
+  const char* key;
+  double seconds = 0;
+  std::uint64_t hash = 0;
+  std::size_t smems = 0;
+};
+
+std::uint64_t smem_hash(std::uint64_t h, const std::vector<smem::Smem>& v) {
+  for (const auto& m : v) {
+    h = (h ^ static_cast<std::uint64_t>(m.qb * 131 + m.qe)) * 1099511628211ull;
+    h = (h ^ static_cast<std::uint64_t>(m.bi.k)) * 1099511628211ull;
+    h = (h ^ static_cast<std::uint64_t>(m.bi.s)) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double gate = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc)
+      gate = std::atof(argv[++i]);
+  }
+
+  // MEM2_BENCH_GENOME wins if set; otherwise 256M (32M for --smoke).
+  std::int64_t genome_len = bench::bench_genome_length();
+  if (genome_len == bench::kDefaultGenomeLen && !std::getenv("MEM2_BENCH_GENOME"))
+    genome_len = smoke ? 32'000'000 : 256'000'000;
+
+  bench::print_header("Index build @ " + std::to_string(genome_len) + " bp (" +
+                      std::to_string(genome_len / 1'000'000) + " Mbp, " +
+                      (smoke ? "smoke" : "full") + ")");
+
+  util::Timer t_sim;
+  auto ref = seq::simulate_genome(bench::bench_genome_config_for(genome_len));
+  const double sim_seconds = t_sim.seconds();
+  std::printf("%-28s %8.1f s\n", "simulate-genome", sim_seconds);
+
+  const double n2 = 2.0 * static_cast<double>(ref.length());
+  const bool rss_reset = reset_peak_rss();
+
+  std::vector<Phase> phases;
+  index::IndexBuildOptions opt;
+  opt.threads = 0;  // OpenMP default
+  opt.progress = [&](const char* phase, double seconds) {
+    phases.push_back({phase, seconds});
+    std::printf("%-28s %8.1f s   rss %6.0f MB\n", phase, seconds,
+                static_cast<double>(util::current_rss_bytes()) / 1e6);
+    std::fflush(stdout);
+  };
+  util::Timer t_build;
+  const auto index = index::Mem2Index::build(std::move(ref), opt);
+  const double build_seconds = t_build.seconds();
+
+  const double peak_rss = static_cast<double>(util::peak_rss_bytes());
+  const double bytes_per_char = peak_rss / n2;
+  const bool gate_ok = !rss_reset || bytes_per_char <= gate;
+  std::printf("\nbuild total: %.1f s, peak RSS %.0f MB -> %.2f bytes/char "
+              "(gate %.1f%s): %s\n",
+              build_seconds, peak_rss / 1e6, bytes_per_char, gate,
+              rss_reset ? "" : ", watermark reset unavailable",
+              gate_ok ? "PASS" : "FAIL");
+
+  // -------- parallel SA-IS determinism on a slice of this reference.
+  const std::size_t slice_len =
+      std::min<std::size_t>(static_cast<std::size_t>(index.l_pac()), 8'000'000);
+  std::vector<seq::Code> slice(slice_len);
+  index.ref().pac().extract(0, slice_len, slice.data());
+  const auto sa1 = index::build_suffix_array(slice, 1);
+  const auto sa4 = index::build_suffix_array(slice, 4);
+  const auto sa_u32 = index::build_suffix_array_u32(slice, 4);
+  bool sa_identical = sa1 == sa4 && sa_u32.size() == sa1.size();
+  if (sa_identical)
+    for (std::size_t i = 0; i < sa1.size(); ++i)
+      if (static_cast<idx_t>(sa_u32[i]) != sa1[i]) { sa_identical = false; break; }
+  std::printf("parallel SA-IS identity (1 vs 4 threads, %zu bp slice): %s\n",
+              slice_len, sa_identical ? "PASS" : "FAIL");
+
+  // -------- DRAM-resident SMEM kernel (Table 4 configs on the big index).
+  auto d2 = bench::bench_dataset(index, 1);
+  if (smoke && d2.reads.size() > 200) d2.reads.resize(200);
+  std::vector<std::vector<seq::Code>> queries(d2.reads.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::string& bases = d2.reads[i].bases;
+    queries[i].resize(bases.size());
+    for (std::size_t j = 0; j < bases.size(); ++j)
+      queries[i][j] = seq::char_to_code(bases[j]);
+  }
+
+  KernelRun smem_runs[] = {
+      {"cp128_scalar"}, {"cp32_nopf"}, {"cp32_pf"}, {"cp32_pf_k8"}};
+  const smem::SeedingOptions sopt;
+  std::vector<std::vector<smem::Smem>> outs(queries.size());
+  auto run_smem = [&](KernelRun& r, bool cp32, bool prefetch, int inflight) {
+    for (auto& o : outs) o.clear();
+    const util::PrefetchPolicy pf{prefetch};
+    util::Timer t;
+    if (inflight > 0) {
+      smem::SmemExecutor ex(inflight);
+      std::vector<smem::QueryRef> refs(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i)
+        refs[i] = smem::QueryRef{queries[i], &outs[i]};
+      ex.collect(index.fm32(), refs, sopt, pf);
+    } else {
+      smem::SmemWorkspace ws;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (cp32)
+          smem::collect_smems(index.fm32(), queries[i], sopt, outs[i], ws, pf);
+        else
+          smem::collect_smems(index.fm128(), queries[i], sopt, outs[i], ws, pf);
+      }
+    }
+    r.seconds = t.seconds();
+    r.hash = 0;
+    r.smems = 0;
+    for (const auto& o : outs) {
+      r.smems += o.size();
+      r.hash = smem_hash(r.hash, o);
+    }
+  };
+  run_smem(smem_runs[0], false, false, 0);
+  run_smem(smem_runs[1], true, false, 0);
+  run_smem(smem_runs[2], true, true, 0);
+  run_smem(smem_runs[3], true, true, 8);
+  bool smem_identical = true;
+  for (const auto& r : smem_runs)
+    smem_identical &= r.hash == smem_runs[0].hash && r.smems == smem_runs[0].smems;
+
+  bench::print_header("DRAM-resident SMEM kernel (" +
+                      std::to_string(d2.reads.size()) + " reads)");
+  for (const auto& r : smem_runs)
+    bench::print_row(r.key, {bench::fmt(r.seconds, 4),
+                             bench::fmt(smem_runs[0].seconds / r.seconds, 2) + "x"});
+  std::printf("identical outputs: %s\n", smem_identical ? "yes" : "NO");
+
+  // -------- DRAM-resident SAL (Table 5 on the big index): harvest the rows
+  // the pipeline would look up, then compare LF-walk vs flat load.
+  std::vector<idx_t> rows;
+  {
+    chain::ChainOptions copt;
+    for (const auto& o : outs)
+      for (const auto& m : o) {
+        const idx_t step = m.bi.s > copt.max_occ ? m.bi.s / copt.max_occ : 1;
+        idx_t count = 0;
+        for (idx_t k = 0; k < m.bi.s && count < copt.max_occ; k += step, ++count)
+          rows.push_back(m.bi.k + k);
+      }
+  }
+  double sal_base_s = 0, sal_flat_s = 0;
+  std::uint64_t sal_base_sum = 0, sal_flat_sum = 0;
+  {
+    util::Timer t;
+    for (const idx_t row : rows)
+      sal_base_sum += static_cast<std::uint64_t>(index.sa_lookup_baseline(row));
+    sal_base_s = t.seconds();
+  }
+  {
+    util::Timer t;
+    for (const idx_t row : rows)
+      sal_flat_sum += static_cast<std::uint64_t>(index.sa_lookup_flat(row));
+    sal_flat_s = t.seconds();
+  }
+  const bool sal_identical = sal_base_sum == sal_flat_sum;
+  bench::print_header("DRAM-resident SAL (" + std::to_string(rows.size()) +
+                      " offsets)");
+  bench::print_row("baseline LF-walk", {bench::fmt(sal_base_s, 4)});
+  bench::print_row("flat SA", {bench::fmt(sal_flat_s, 4)});
+  bench::print_row("speedup", {bench::fmt(sal_flat_s > 0 ? sal_base_s / sal_flat_s : 0, 1) + "x"});
+  std::printf("identical outputs: %s\n", sal_identical ? "yes" : "NO");
+
+  if (std::FILE* f = std::fopen("BENCH_index_build.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"index_build\",\n");
+    std::fprintf(f, "  \"genome_len\": %lld,\n  \"smoke\": %s,\n",
+                 static_cast<long long>(genome_len), smoke ? "true" : "false");
+    std::fprintf(f, "  \"simulate_seconds\": %.3f,\n  \"build_seconds\": %.3f,\n",
+                 sim_seconds, build_seconds);
+    std::fprintf(f, "  \"phases\": {");
+    for (std::size_t i = 0; i < phases.size(); ++i)
+      std::fprintf(f, "%s\"%s\": %.3f", i ? ", " : "", phases[i].name.c_str(),
+                   phases[i].seconds);
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"peak_rss_bytes\": %.0f,\n  \"bytes_per_char\": %.3f,\n",
+                 peak_rss, bytes_per_char);
+    std::fprintf(f, "  \"rss_gate\": %.2f,\n  \"rss_gate_ok\": %s,\n", gate,
+                 gate_ok ? "true" : "false");
+    std::fprintf(f, "  \"index_memory_bytes\": %zu,\n", index.memory_bytes());
+    std::fprintf(f, "  \"sa_parallel_identical\": %s,\n",
+                 sa_identical ? "true" : "false");
+    std::fprintf(f, "  \"smem_dram_resident\": {\n");
+    for (std::size_t i = 0; i < std::size(smem_runs); ++i)
+      std::fprintf(f, "    \"%s\": %.4f%s\n", smem_runs[i].key,
+                   smem_runs[i].seconds, i + 1 < std::size(smem_runs) ? "," : "");
+    std::fprintf(f, "  },\n  \"smem_outputs_identical\": %s,\n",
+                 smem_identical ? "true" : "false");
+    std::fprintf(f, "  \"sal_dram_resident\": {\"offsets\": %zu, "
+                 "\"baseline_seconds\": %.4f, \"flat_seconds\": %.4f},\n",
+                 rows.size(), sal_base_s, sal_flat_s);
+    std::fprintf(f, "  \"sal_outputs_identical\": %s\n}\n",
+                 sal_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_index_build.json\n");
+  }
+
+  const bool ok = gate_ok && sa_identical && smem_identical && sal_identical;
+  return ok ? 0 : 1;
+}

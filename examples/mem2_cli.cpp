@@ -1,6 +1,6 @@
 // mem2_cli — a bwa-mem2-style command-line aligner on the library API.
 //
-//   mem2_cli index <ref.fasta> <out.m2i>
+//   mem2_cli index [-t N] <ref.fasta> <out.m2i>
 //   mem2_cli mem [options] <index.m2i> <reads.fastq>   (SAM on stdout)
 //   mem2_cli simulate <out.fasta> <length> [seed]
 //   mem2_cli wgsim <ref.fasta> <out.fastq> <n> <len> [seed]
@@ -30,6 +30,7 @@
 #include "io/fastq.h"
 #include "seq/genome_sim.h"
 #include "seq/read_sim.h"
+#include "util/big_alloc.h"
 #include "util/cpu_features.h"
 #include "util/fault_injector.h"
 #include "util/metrics.h"
@@ -43,7 +44,10 @@ namespace {
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  mem2_cli index <ref.fasta> <out.m2i>\n"
+      "  mem2_cli index [-t N] <ref.fasta> <out.m2i>\n"
+      "      -t N              suffix-array build threads (default: all\n"
+      "                        cores; the index is identical for any N);\n"
+      "                        prints per-phase progress and peak RSS\n"
       "  mem2_cli mem [options] <index.m2i> <reads.fq> [mates.fq]\n"
       "      -t N              pipeline worker threads (default 1)\n"
       "      -b N              reads per batch (default 512)\n"
@@ -326,16 +330,32 @@ void finish_trace(const std::string& path) {
 }
 
 int cmd_index(int argc, char** argv) {
-  if (argc != 2) return usage();
-  std::cerr << "[mem2] loading " << argv[0] << "...\n";
-  auto ref = io::load_reference(argv[0]);
+  index::IndexBuildOptions bopt;
+  long long v = 0;
+  int i = 0;
+  for (; i < argc && argv[i][0] == '-'; ++i) {
+    if (!std::strcmp(argv[i], "-t") && i + 1 < argc) {
+      if (!parse_arg("-t", argv[++i], 1, INT_MAX, v)) return usage();
+      bopt.threads = static_cast<int>(v);
+    } else {
+      return usage();
+    }
+  }
+  if (argc - i != 2) return usage();
+  std::cerr << "[mem2] loading " << argv[i] << "...\n";
+  auto ref = io::load_reference(argv[i]);
   std::cerr << "[mem2] building index over " << ref.length() << " bp...\n";
+  bopt.progress = [](const char* phase, double seconds) {
+    std::cerr << "[mem2]   " << phase << ": " << seconds << "s (rss "
+              << util::current_rss_bytes() / (1 << 20) << " MiB)\n";
+  };
   util::Timer t;
-  const auto index = index::Mem2Index::build(std::move(ref));
+  const auto index = index::Mem2Index::build(std::move(ref), bopt);
   std::cerr << "[mem2] built in " << t.seconds() << "s ("
-            << index.memory_bytes() / (1 << 20) << " MiB); writing " << argv[1]
-            << '\n';
-  index::save_index(argv[1], index);
+            << index.memory_bytes() / (1 << 20) << " MiB resident, peak rss "
+            << util::peak_rss_bytes() / (1 << 20) << " MiB); writing "
+            << argv[i + 1] << '\n';
+  index::save_index(argv[i + 1], index);
   return 0;
 }
 

@@ -2,10 +2,13 @@
 
 namespace mem2::index {
 
-BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>& sa) {
+namespace {
+
+template <class SaVec>
+BwtData derive_bwt_impl(const std::vector<seq::Code>& text, const SaVec& sa) {
   const idx_t n = static_cast<idx_t>(text.size());
   MEM2_REQUIRE(static_cast<idx_t>(sa.size()) == n + 1, "suffix array size must be N+1");
-  MEM2_REQUIRE(sa[0] == n, "sa[0] must be the sentinel suffix");
+  MEM2_REQUIRE(static_cast<idx_t>(sa[0]) == n, "sa[0] must be the sentinel suffix");
 
   BwtData out;
   out.seq_len = n;
@@ -21,7 +24,7 @@ BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>&
 
   out.primary = -1;
   for (idx_t r = 0; r <= n; ++r) {
-    const idx_t p = sa[static_cast<std::size_t>(r)];
+    const idx_t p = static_cast<idx_t>(sa[static_cast<std::size_t>(r)]);
     if (p == 0) {
       out.primary = r;  // last column is $ here; skip storing
       continue;
@@ -31,6 +34,17 @@ BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>&
   MEM2_REQUIRE(out.primary >= 0, "suffix array misses the primary row");
   MEM2_REQUIRE(static_cast<idx_t>(out.bwt.size()) == n, "BWT length mismatch");
   return out;
+}
+
+}  // namespace
+
+BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>& sa) {
+  return derive_bwt_impl(text, sa);
+}
+
+BwtData derive_bwt(const std::vector<seq::Code>& text,
+                   const util::BigVector<std::uint32_t>& sa) {
+  return derive_bwt_impl(text, sa);
 }
 
 std::vector<seq::Code> with_reverse_complement(const std::vector<seq::Code>& text) {

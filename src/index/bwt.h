@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "seq/dna.h"
+#include "util/big_alloc.h"
 #include "util/common.h"
 
 namespace mem2::index {
@@ -29,8 +30,12 @@ struct BwtData {
 };
 
 /// Derive BWT data from a text and its suffix array (as produced by
-/// build_suffix_array: length N+1, sa[0] == N).
+/// build_suffix_array: length N+1, sa[0] == N).  The 32-bit overload runs
+/// on build_suffix_array_u32 output so the chromosome-scale build never
+/// widens the SA.
 BwtData derive_bwt(const std::vector<seq::Code>& text, const std::vector<idx_t>& sa);
+BwtData derive_bwt(const std::vector<seq::Code>& text,
+                   const util::BigVector<std::uint32_t>& sa);
 
 /// Build T = text · revcomp(text); the standard input to the index.
 std::vector<seq::Code> with_reverse_complement(const std::vector<seq::Code>& text);

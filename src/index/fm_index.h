@@ -157,6 +157,10 @@ class FmIndexT {
   /// only built when store_bwt is requested.
   void store_raw_bwt(const BwtData& data) { raw_bwt_ = data.bwt; }
   bool has_raw_bwt() const { return !raw_bwt_.empty(); }
+  /// The stored sentinel-free BWT rows (requires has_raw_bwt()); the
+  /// streaming index writer serializes the bwt section from this without
+  /// materializing an intermediate copy.
+  const std::vector<seq::Code>& raw_bwt() const { return raw_bwt_; }
 
  private:
   int bwt_char_(idx_t j) const { return raw_bwt_[static_cast<std::size_t>(j)]; }

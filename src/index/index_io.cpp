@@ -6,19 +6,30 @@
 //   from the stored BWT on load (cheap, and keeps the file format
 //   independent of bucket layout).
 //
-// Integrity: every load verifies each section's checksum and bounds before
-// any field is used, so a bit-flipped or truncated file surfaces as
-// corruption_error naming the offending section (Status kDataCorruption at
-// the session layer / exit code 4 in mem2_cli) instead of undefined
-// behavior.  The v1 format (no checksums) still loads with a one-release
+// Both directions stream: the writer emits each section write-through with
+// an analytically precomputed payload length and an incremental xxhash64,
+// and the reader consumes fields straight from the file in bounded chunks —
+// neither side ever holds a section payload AND its in-memory structure at
+// the same time, which is what keeps chromosome-scale save/load inside the
+// build's own memory budget.  The flat SA is stored as i64 on disk (format
+// compatibility) but held as u32 in memory; the widening/narrowing runs
+// through a small chunk buffer.
+//
+// Integrity: every length field is clamped against the bytes actually
+// remaining in its section (or file) BEFORE any allocation, and each
+// section checksum is verified once its payload has been consumed, so a
+// bit-flipped or truncated file surfaces as corruption_error naming the
+// offending section (Status kDataCorruption at the session layer / exit
+// code 4 in mem2_cli) instead of undefined behavior or an absurd
+// allocation.  The v1 format (no checksums) still loads with a one-release
 // deprecation warning; save_index can emit it for transition tooling.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <limits>
-#include <sstream>
 
 #include "index/mem2_index.h"
+#include "util/big_alloc.h"
 #include "util/checksum.h"
 #include "util/fault_injector.h"
 
@@ -26,37 +37,23 @@ namespace mem2::index {
 
 namespace {
 
+static_assert(sizeof(seq::Code) == 1, "BWT sections assume 1-byte codes");
+
 constexpr char kMagicV1[4] = {'M', '2', 'I', '\1'};
 constexpr char kMagicV2[4] = {'M', '2', 'I', '\2'};
 
-/// Fixed section order of the v2 container.
-constexpr const char* kSectionNames[] = {"contigs", "pac",        "ambig",
-                                         "bwt",     "sampled_sa", "flat_sa"};
+/// Chunk size for streaming payload reads/writes: big enough to amortize
+/// stream overhead, small enough to be memory-invisible.
+constexpr std::size_t kIoChunkBytes = std::size_t{8} << 20;
 
 template <typename T>
 void put(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T get(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw io_error("index file truncated");
-  return v;
-}
-
 void put_string(std::ostream& out, const std::string& s) {
   put<std::uint64_t>(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string get_string(std::istream& in) {
-  const auto n = get<std::uint64_t>(in);
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  if (!in) throw io_error("index file truncated (string)");
-  return s;
 }
 
 template <typename T>
@@ -67,54 +64,152 @@ void put_vector(std::ostream& out, const std::vector<T>& v) {
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
-template <typename T>
-std::vector<T> get_vector(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const auto n = get<std::uint64_t>(in);
-  std::vector<T> v(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!in) throw io_error("index file truncated (vector)");
-  return v;
+/// Feed each chunk of the u32 flat SA, widened to the on-disk i64 layout,
+/// to `emit(ptr, bytes)`.  Only one small chunk buffer is ever live.
+template <class Emit>
+void for_each_widened_chunk(const util::BigVector<std::uint32_t>& v,
+                            Emit&& emit) {
+  constexpr std::size_t kChunk = std::size_t{1} << 16;
+  std::vector<idx_t> buf(std::min(v.size(), kChunk));
+  for (std::size_t off = 0; off < v.size(); off += kChunk) {
+    const std::size_t m = std::min(kChunk, v.size() - off);
+    for (std::size_t i = 0; i < m; ++i)
+      buf[i] = static_cast<idx_t>(v[off + i]);
+    emit(buf.data(), m * sizeof(idx_t));
+  }
 }
 
 // ---------------------------------------------------------------- v2 frame
 
-/// Bounds-checked reader over one verified section payload.  Every overrun
-/// is a corruption_error naming the section, so a malformed length field
-/// can never read past the section or allocate from garbage.
-class SectionReader {
+/// Streaming section writer: the frame header carries an analytically
+/// precomputed payload length, fields are written straight through while an
+/// incremental xxhash64 runs alongside, and finish() checks the promise and
+/// appends the checksum footer.  No payload copy is ever materialized.
+class SectionSink {
  public:
-  SectionReader(std::string name, std::string bytes)
-      : name_(std::move(name)), bytes_(std::move(bytes)) {}
+  SectionSink(std::ostream& out, const char* name, std::uint64_t payload_len)
+      : out_(out), declared_(payload_len) {
+    put_string(out_, name);
+    put<std::uint64_t>(out_, payload_len);
+  }
 
-  const std::string& name() const { return name_; }
+  void bytes(const void* p, std::size_t n) {
+    if (n == 0) return;
+    hash_.update(p, n);
+    out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    written_ += n;
+  }
+
+  template <typename T>
+  void put_field(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  void put_str(const std::string& s) {
+    put_field<std::uint64_t>(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_field<std::uint64_t>(v.size());
+    bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  void finish() {
+    MEM2_REQUIRE(written_ == declared_,
+                 "index writer: section payload length mismatch");
+    put<std::uint64_t>(out_, hash_.digest());
+  }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t declared_;
+  std::uint64_t written_ = 0;
+  util::Xxh64Stream hash_;
+};
+
+/// Streaming section reader.  Fields are consumed straight from the file;
+/// every length field is clamped against the bytes remaining in the
+/// section before the corresponding allocation, and the checksum footer is
+/// verified in finish() once the payload has been fully consumed.  Every
+/// failure is a corruption_error naming the section, so a malformed length
+/// can never read past the section or allocate from garbage.
+class SectionSource {
+ public:
+  SectionSource(std::istream& in, const char* expected,
+                std::uint64_t& bytes_left)
+      : in_(in), name_(expected) {
+    const std::uint64_t name_len = frame_u64(bytes_left);
+    if (name_len > 256 || name_len > bytes_left)
+      fail("implausible section name");
+    std::string name(static_cast<std::size_t>(name_len), '\0');
+    in_.read(name.data(), static_cast<std::streamsize>(name.size()));
+    if (!in_) fail("file truncated in section name");
+    bytes_left -= name_len;
+    if (name != name_) fail("expected this section, found '" + name + "'");
+    payload_len_ = frame_u64(bytes_left);
+    if (payload_len_ > bytes_left) fail("payload length exceeds the file size");
+    bytes_left -= payload_len_;
+  }
 
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
     T v{};
-    take(reinterpret_cast<char*>(&v), sizeof(T), "field");
+    read_raw(&v, sizeof(T), "field");
     return v;
   }
 
-  std::string get_string() {
+  /// Read a u64 element count and clamp it: a count can never exceed the
+  /// remaining payload bytes, so absurd lengths die before the allocation.
+  std::uint64_t get_count(std::size_t elem_size, const char* what) {
     const auto n = get<std::uint64_t>();
-    check_count(n, 1, "string");
+    if (n > remaining() / elem_size)
+      fail(std::string(what) + " length field exceeds the section payload");
+    return n;
+  }
+
+  std::string get_string() {
+    const auto n = get_count(1, "string");
     std::string s(static_cast<std::size_t>(n), '\0');
-    take(s.data(), s.size(), "string");
+    read_raw(s.data(), s.size(), "string");
     return s;
   }
 
   template <typename T>
   std::vector<T> get_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
-    const auto n = get<std::uint64_t>();
-    check_count(n, sizeof(T), "vector");
+    const auto n = get_count(sizeof(T), "vector");
     std::vector<T> v(static_cast<std::size_t>(n));
-    take(reinterpret_cast<char*>(v.data()), v.size() * sizeof(T), "vector");
+    read_chunked(v.data(), v.size() * sizeof(T), "vector");
     return v;
   }
+
+  /// Raw payload read (bounds-checked + hashed); building block for the
+  /// chunked big-array paths.
+  void read_raw(void* dst, std::size_t n, const char* what) {
+    if (n > remaining())
+      fail(std::string(what) + " extends past the section payload");
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!in_) fail("file truncated in section payload");
+    hash_.update(dst, n);
+    consumed_ += n;
+  }
+
+  void read_chunked(void* dst, std::size_t n, const char* what) {
+    char* p = static_cast<char*>(dst);
+    while (n > 0) {
+      const std::size_t m = std::min(n, kIoChunkBytes);
+      read_raw(p, m, what);
+      p += m;
+      n -= m;
+    }
+  }
+
+  std::uint64_t remaining() const { return payload_len_ - consumed_; }
 
   /// Semantic range check: fields that passed the checksum can still be
   /// inconsistent with each other only if the writer was broken — treat as
@@ -123,157 +218,183 @@ class SectionReader {
     if (!cond) fail(what);
   }
 
-  void expect_done() const {
-    if (pos_ != bytes_.size()) fail("trailing bytes after last field");
+  /// Expects the payload fully consumed, then verifies the checksum footer.
+  void finish() {
+    if (consumed_ != payload_len_) fail("trailing bytes after last field");
+    std::uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in_) fail("file truncated in section frame");
+    if (stored != hash_.digest())
+      fail("checksum mismatch (bit flip or truncation)");
   }
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw corruption_error("index section '" + name_ + "' is corrupt: " + what);
+    throw corruption_error("index section '" + std::string(name_) +
+                           "' is corrupt: " + what);
   }
 
  private:
-  void take(char* dst, std::size_t n, const char* what) {
-    if (n > bytes_.size() - pos_)
-      fail(std::string(what) + " extends past the section payload");
-    std::memcpy(dst, bytes_.data() + pos_, n);
-    pos_ += n;
+  std::uint64_t frame_u64(std::uint64_t& bytes_left) {
+    std::uint64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in_) fail("file truncated in section frame");
+    bytes_left -= std::min<std::uint64_t>(bytes_left, sizeof(v));
+    return v;
   }
 
-  void check_count(std::uint64_t n, std::size_t elem_size, const char* what) const {
-    // An element count can never exceed the remaining payload bytes; this
-    // rejects absurd lengths before the allocation, not after.
-    if (n > (bytes_.size() - pos_) / elem_size)
-      fail(std::string(what) + " length field exceeds the section payload");
-  }
-
-  std::string name_;
-  std::string bytes_;
-  std::size_t pos_ = 0;
+  std::istream& in_;
+  const char* name_;
+  std::uint64_t payload_len_ = 0;
+  std::uint64_t consumed_ = 0;
+  util::Xxh64Stream hash_;
 };
 
-void write_section(std::ostream& out, const char* name,
-                   const std::string& payload) {
-  put_string(out, name);
-  put<std::uint64_t>(out, payload.size());
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  put<std::uint64_t>(out, util::xxhash64(payload.data(), payload.size()));
-}
+// ------------------------------------------------------- section writers
 
-/// Read and verify the next section, which must be `expected`.  All frame
-/// errors (short reads, oversized lengths, checksum mismatch) are
-/// corruption_error mentioning the section, per the contract above.
-SectionReader read_section(std::istream& in, const char* expected,
-                           std::uint64_t bytes_left) {
-  auto fail = [&](const std::string& what) -> void {
-    throw corruption_error("index section '" + std::string(expected) +
-                           "' is corrupt: " + what);
-  };
-  auto get_u64 = [&]() {
-    std::uint64_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    if (!in) fail("file truncated in section frame");
-    return v;
-  };
-
-  const std::uint64_t name_len = get_u64();
-  if (name_len > 256 || name_len > bytes_left) fail("implausible section name");
-  std::string name(static_cast<std::size_t>(name_len), '\0');
-  in.read(name.data(), static_cast<std::streamsize>(name.size()));
-  if (!in) fail("file truncated in section name");
-  if (name != expected) fail("expected this section, found '" + name + "'");
-
-  const std::uint64_t payload_len = get_u64();
-  if (payload_len > bytes_left) fail("payload length exceeds the file size");
-  std::string payload(static_cast<std::size_t>(payload_len), '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (!in) fail("file truncated in section payload");
-  const std::uint64_t stored = get_u64();
-  const std::uint64_t computed = util::xxhash64(payload.data(), payload.size());
-  if (stored != computed) fail("checksum mismatch (bit flip or truncation)");
-  return SectionReader(expected, std::move(payload));
-}
-
-// ------------------------------------------------------- section payloads
-
-std::string pack_contigs(const Mem2Index& index) {
-  std::ostringstream os(std::ios::binary);
-  const auto& ref = index.ref();
-  put<std::uint64_t>(os, ref.contigs().size());
-  for (const auto& c : ref.contigs()) {
-    put_string(os, c.name);
-    put<idx_t>(os, c.offset);
-    put<idx_t>(os, c.length);
+void write_contigs(std::ostream& out, const Mem2Index& index) {
+  const auto& contigs = index.ref().contigs();
+  std::uint64_t len = 8;
+  for (const auto& c : contigs) len += 8 + c.name.size() + 2 * sizeof(idx_t);
+  SectionSink s(out, "contigs", len);
+  s.put_field<std::uint64_t>(contigs.size());
+  for (const auto& c : contigs) {
+    s.put_str(c.name);
+    s.put_field<idx_t>(c.offset);
+    s.put_field<idx_t>(c.length);
   }
-  return std::move(os).str();
+  s.finish();
 }
 
-std::string pack_pac(const Mem2Index& index) {
-  std::ostringstream os(std::ios::binary);
-  put<std::uint64_t>(os, static_cast<std::uint64_t>(index.ref().pac().size()));
-  put_vector(os, index.ref().pac().raw());
-  return std::move(os).str();
+void write_pac(std::ostream& out, const Mem2Index& index) {
+  const auto& raw = index.ref().pac().raw();
+  SectionSink s(out, "pac", 16 + raw.size());
+  s.put_field<std::uint64_t>(static_cast<std::uint64_t>(index.ref().pac().size()));
+  s.put_vec(raw);
+  s.finish();
 }
 
-std::string pack_ambig(const Mem2Index& index) {
-  std::ostringstream os(std::ios::binary);
-  put<std::uint64_t>(os, index.ref().ambiguous().size());
-  for (const auto& a : index.ref().ambiguous()) {
-    put<idx_t>(os, a.begin);
-    put<idx_t>(os, a.end);
+void write_ambig(std::ostream& out, const Mem2Index& index) {
+  const auto& ambig = index.ref().ambiguous();
+  SectionSink s(out, "ambig", 8 + ambig.size() * 2 * sizeof(idx_t));
+  s.put_field<std::uint64_t>(ambig.size());
+  for (const auto& a : ambig) {
+    s.put_field<idx_t>(a.begin);
+    s.put_field<idx_t>(a.end);
   }
-  return std::move(os).str();
+  s.finish();
 }
 
-std::string pack_bwt(const Mem2Index& index) {
-  std::ostringstream os(std::ios::binary);
+void write_bwt(std::ostream& out, const Mem2Index& index) {
   const auto& fm = index.fm128();
-  put<idx_t>(os, fm.seq_len());
-  put<idx_t>(os, fm.primary());
-  // Recovering the BWT codes through the occ table is awkward; serialize
-  // via the raw-BWT accessor like the v1 writer did.
-  std::vector<seq::Code> bwt(static_cast<std::size_t>(fm.seq_len()));
-  for (idx_t j = 0; j < fm.seq_len(); ++j) {
-    const idx_t row = j + (j >= fm.primary() ? 1 : 0);
-    bwt[static_cast<std::size_t>(j)] = static_cast<seq::Code>(fm.bwt_at(row));
+  // raw_bwt() IS the sentinel-free last column in file order (the old
+  // row-translation loop reproduced it element for element), so the
+  // section streams straight from the live structure.
+  const auto& raw = fm.raw_bwt();
+  SectionSink s(out, "bwt", 2 * sizeof(idx_t) + 8 + raw.size());
+  s.put_field<idx_t>(fm.seq_len());
+  s.put_field<idx_t>(fm.primary());
+  s.put_vec(raw);
+  s.finish();
+}
+
+void write_sampled_sa(std::ostream& out, const Mem2Index& index) {
+  const auto& samples = index.sampled_sa().samples();
+  SectionSink s(out, "sampled_sa", 4 + 8 + samples.size() * sizeof(idx_t));
+  s.put_field<std::int32_t>(index.sampled_sa().interval());
+  s.put_vec(samples);
+  s.finish();
+}
+
+void write_flat_sa(std::ostream& out, const Mem2Index& index) {
+  const bool has = index.has_flat_sa();
+  std::uint64_t len = 1;
+  if (has) len += 8 + index.flat_sa().size() * sizeof(idx_t);
+  SectionSink s(out, "flat_sa", len);
+  s.put_field<std::uint8_t>(has ? 1 : 0);
+  if (has) {
+    const auto& v = index.flat_sa().values_u32();
+    s.put_field<std::uint64_t>(v.size());
+    for_each_widened_chunk(
+        v, [&](const void* p, std::size_t n) { s.bytes(p, n); });
   }
-  put_vector(os, bwt);
-  return std::move(os).str();
-}
-
-std::string pack_sampled_sa(const Mem2Index& index) {
-  std::ostringstream os(std::ios::binary);
-  put<std::int32_t>(os, index.sampled_sa().interval());
-  put_vector(os, index.sampled_sa().samples());
-  return std::move(os).str();
-}
-
-std::string pack_flat_sa(const Mem2Index& index) {
-  std::ostringstream os(std::ios::binary);
-  put<std::uint8_t>(os, index.has_flat_sa() ? 1 : 0);
-  if (index.has_flat_sa()) put_vector(os, index.flat_sa().values());
-  return std::move(os).str();
+  s.finish();
 }
 
 // --------------------------------------------------------------- v1 loader
 
-Mem2Index load_index_v1(std::istream& in) {
-  Mem2Index index;
+/// Reader for the deprecated unchecksummed format, tracking the bytes that
+/// actually remain in the file so a corrupt length field throws io_error
+/// before it can drive an absurd allocation.
+class V1Reader {
+ public:
+  V1Reader(std::istream& in, std::uint64_t remaining)
+      : in_(in), remaining_(remaining) {}
 
-  // Reference.
-  const auto n_contigs = get<std::uint64_t>(in);
-  std::vector<seq::Contig> contigs(n_contigs);
-  for (auto& c : contigs) {
-    c.name = get_string(in);
-    c.offset = get<idx_t>(in);
-    c.length = get<idx_t>(in);
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    read(&v, sizeof(T), "field");
+    return v;
   }
-  const auto pac_len = get<std::uint64_t>(in);
-  auto pac_raw = get_vector<std::uint8_t>(in);
-  const auto n_ambig = get<std::uint64_t>(in);
-  std::vector<seq::AmbigInterval> ambig(n_ambig);
+
+  std::uint64_t get_count(std::size_t elem_size, const char* what) {
+    const auto n = get<std::uint64_t>();
+    if (n > remaining_ / elem_size)
+      throw io_error(std::string("index file corrupt: ") + what +
+                     " length field exceeds the file size");
+    return n;
+  }
+
+  std::string get_string() {
+    const auto n = get_count(1, "string");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    read(s.data(), s.size(), "string");
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get_count(sizeof(T), "vector");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    read(v.data(), v.size() * sizeof(T), "vector");
+    return v;
+  }
+
+ private:
+  void read(void* dst, std::size_t n, const char* what) {
+    if (n > remaining_)
+      throw io_error(std::string("index file truncated (") + what + ")");
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!in_) throw io_error(std::string("index file truncated (") + what + ")");
+    remaining_ -= n;
+  }
+
+  std::istream& in_;
+  std::uint64_t remaining_;
+};
+
+Mem2Index load_index_v1(std::istream& in, std::uint64_t bytes_left) {
+  Mem2Index index;
+  V1Reader r(in, bytes_left);
+
+  // Reference.  Each contig costs at least 24 bytes (name length + offset +
+  // length), which clamps the table size before the vector allocation.
+  const auto n_contigs = r.get_count(24, "contig table");
+  std::vector<seq::Contig> contigs(static_cast<std::size_t>(n_contigs));
+  for (auto& c : contigs) {
+    c.name = r.get_string();
+    c.offset = r.get<idx_t>();
+    c.length = r.get<idx_t>();
+  }
+  const auto pac_len = r.get<std::uint64_t>();
+  auto pac_raw = r.get_vector<std::uint8_t>();
+  const auto n_ambig = r.get_count(2 * sizeof(idx_t), "ambig table");
+  std::vector<seq::AmbigInterval> ambig(static_cast<std::size_t>(n_ambig));
   for (auto& a : ambig) {
-    a.begin = get<idx_t>(in);
-    a.end = get<idx_t>(in);
+    a.begin = r.get<idx_t>();
+    a.end = r.get<idx_t>();
   }
   // Rebuild the Reference from raw parts: decode the packed sequence per
   // contig and re-add (N runs were already replaced at build time).
@@ -287,9 +408,9 @@ Mem2Index load_index_v1(std::istream& in) {
 
   // BWT + occ tables.
   BwtData bwt;
-  bwt.seq_len = get<idx_t>(in);
-  bwt.primary = get<idx_t>(in);
-  bwt.bwt = get_vector<seq::Code>(in);
+  bwt.seq_len = r.get<idx_t>();
+  bwt.primary = r.get<idx_t>();
+  bwt.bwt = r.get_vector<seq::Code>();
   MEM2_REQUIRE(static_cast<idx_t>(bwt.bwt.size()) == bwt.seq_len,
                "index file BWT length mismatch");
   std::array<idx_t, 4> counts{};
@@ -302,10 +423,10 @@ Mem2Index load_index_v1(std::istream& in) {
   index.mutable_fm32().build(bwt);
 
   // SAL.
-  const auto interval = get<std::int32_t>(in);
-  index.mutable_sampled_sa().set_samples(get_vector<idx_t>(in), interval);
-  const auto has_flat = get<std::uint8_t>(in);
-  if (has_flat) index.mutable_flat_sa().build(get_vector<idx_t>(in));
+  const auto interval = r.get<std::int32_t>();
+  index.mutable_sampled_sa().set_samples(r.get_vector<idx_t>(), interval);
+  const auto has_flat = r.get<std::uint8_t>();
+  if (has_flat) index.mutable_flat_sa().build(r.get_vector<idx_t>());
 
   return index;
 }
@@ -317,41 +438,56 @@ Mem2Index load_index_v2(std::istream& in, std::uint64_t bytes_left) {
 
   // Contigs + pac + ambig: verify all three before rebuilding the
   // Reference, since contig geometry indexes into the pac payload.
-  SectionReader contigs_sec = read_section(in, "contigs", bytes_left);
-  const auto n_contigs = contigs_sec.get<std::uint64_t>();
-  contigs_sec.require(n_contigs >= 1, "index has no contigs");
-  std::vector<seq::Contig> contigs(static_cast<std::size_t>(n_contigs));
-  for (auto& c : contigs) {
-    c.name = contigs_sec.get_string();
-    c.offset = contigs_sec.get<idx_t>();
-    c.length = contigs_sec.get<idx_t>();
-    contigs_sec.require(!c.name.empty(), "empty contig name");
-    contigs_sec.require(c.offset >= 0 && c.length >= 1,
-                        "contig offset/length out of range");
+  std::vector<seq::Contig> contigs;
+  {
+    SectionSource sec(in, "contigs", bytes_left);
+    // Each contig costs at least 24 payload bytes (name length field +
+    // offset + length); this clamps the table before the allocation.
+    const auto n_contigs = sec.get_count(24, "contig table");
+    sec.require(n_contigs >= 1, "index has no contigs");
+    contigs.resize(static_cast<std::size_t>(n_contigs));
+    for (auto& c : contigs) {
+      c.name = sec.get_string();
+      c.offset = sec.get<idx_t>();
+      c.length = sec.get<idx_t>();
+      sec.require(!c.name.empty(), "empty contig name");
+      sec.require(c.offset >= 0 && c.length >= 1,
+                  "contig offset/length out of range");
+    }
+    sec.finish();
   }
-  contigs_sec.expect_done();
 
-  SectionReader pac_sec = read_section(in, "pac", bytes_left);
-  const auto pac_len = pac_sec.get<std::uint64_t>();
-  auto pac_raw = pac_sec.get_vector<std::uint8_t>();
-  pac_sec.require(pac_raw.size() == (static_cast<std::size_t>(pac_len) + 3) / 4,
-                  "packed length does not match the stored base count");
-  pac_sec.expect_done();
-  for (const auto& c : contigs)
-    contigs_sec.require(static_cast<std::uint64_t>(c.offset) + static_cast<std::uint64_t>(c.length) <= pac_len,
-                        "contig '" + c.name + "' extends past the packed sequence");
-
-  SectionReader ambig_sec = read_section(in, "ambig", bytes_left);
-  const auto n_ambig = ambig_sec.get<std::uint64_t>();
-  std::vector<seq::AmbigInterval> ambig(static_cast<std::size_t>(n_ambig));
-  for (auto& a : ambig) {
-    a.begin = ambig_sec.get<idx_t>();
-    a.end = ambig_sec.get<idx_t>();
-    ambig_sec.require(a.begin >= 0 && a.begin <= a.end &&
-                          static_cast<std::uint64_t>(a.end) <= pac_len,
-                      "ambiguous interval out of range");
+  std::uint64_t pac_len = 0;
+  std::vector<std::uint8_t> pac_raw;
+  {
+    SectionSource sec(in, "pac", bytes_left);
+    pac_len = sec.get<std::uint64_t>();
+    pac_raw = sec.get_vector<std::uint8_t>();
+    sec.require(pac_raw.size() == (static_cast<std::size_t>(pac_len) + 3) / 4,
+                "packed length does not match the stored base count");
+    sec.finish();
   }
-  ambig_sec.expect_done();
+  for (const auto& c : contigs) {
+    if (static_cast<std::uint64_t>(c.offset) +
+            static_cast<std::uint64_t>(c.length) >
+        pac_len)
+      throw corruption_error("index section 'contigs' is corrupt: contig '" +
+                             c.name + "' extends past the packed sequence");
+  }
+
+  {
+    SectionSource sec(in, "ambig", bytes_left);
+    const auto n_ambig = sec.get_count(2 * sizeof(idx_t), "ambig table");
+    std::vector<seq::AmbigInterval> ambig(static_cast<std::size_t>(n_ambig));
+    for (auto& a : ambig) {
+      a.begin = sec.get<idx_t>();
+      a.end = sec.get<idx_t>();
+      sec.require(a.begin >= 0 && a.begin <= a.end &&
+                      static_cast<std::uint64_t>(a.end) <= pac_len,
+                  "ambiguous interval out of range");
+    }
+    sec.finish();
+  }
 
   seq::PackedSequence pac;
   pac.assign_raw(std::move(pac_raw), pac_len);
@@ -362,57 +498,89 @@ Mem2Index load_index_v2(std::istream& in, std::uint64_t bytes_left) {
   }
 
   // BWT + occ tables.
-  SectionReader bwt_sec = read_section(in, "bwt", bytes_left);
   BwtData bwt;
-  bwt.seq_len = bwt_sec.get<idx_t>();
-  bwt.primary = bwt_sec.get<idx_t>();
-  bwt_sec.require(bwt.seq_len == static_cast<idx_t>(2 * pac_len),
-                  "BW matrix length != 2 x reference length");
-  bwt_sec.require(bwt.primary >= 0 && bwt.primary <= bwt.seq_len,
-                  "primary row out of range");
-  bwt.bwt = bwt_sec.get_vector<seq::Code>();
-  bwt_sec.require(static_cast<idx_t>(bwt.bwt.size()) == bwt.seq_len,
-                  "BWT length mismatch");
-  for (seq::Code c : bwt.bwt)
-    bwt_sec.require(c < 4, "BWT code out of the DNA alphabet");
-  bwt_sec.expect_done();
-  std::array<idx_t, 4> counts{};
-  for (seq::Code c : bwt.bwt) ++counts[c];
-  bwt.cum[0] = 1;
-  for (int c = 0; c < 4; ++c)
-    bwt.cum[static_cast<std::size_t>(c) + 1] =
-        bwt.cum[static_cast<std::size_t>(c)] + counts[static_cast<std::size_t>(c)];
+  {
+    SectionSource sec(in, "bwt", bytes_left);
+    bwt.seq_len = sec.get<idx_t>();
+    bwt.primary = sec.get<idx_t>();
+    sec.require(bwt.seq_len == static_cast<idx_t>(2 * pac_len),
+                "BW matrix length != 2 x reference length");
+    sec.require(bwt.primary >= 0 && bwt.primary <= bwt.seq_len,
+                "primary row out of range");
+    // The 32-bit occ/SA components rebuilt below cap the text length; an
+    // oversized file must die here (invariant_error naming the limit), not
+    // wrap counters during the rebuild.
+    OccCp32::check_text_length(bwt.seq_len);
+    const auto n = sec.get_count(sizeof(seq::Code), "vector");
+    sec.require(static_cast<idx_t>(n) == bwt.seq_len, "BWT length mismatch");
+    bwt.bwt.resize(static_cast<std::size_t>(n));
+    util::prefault_pages(bwt.bwt.data(), bwt.bwt.size());
+    sec.read_chunked(bwt.bwt.data(), bwt.bwt.size(), "vector");
+    sec.finish();
+    // Alphabet check + cumulative counts in one checksum-verified pass.
+    std::array<idx_t, 4> counts{};
+    for (seq::Code c : bwt.bwt) {
+      sec.require(c < 4, "BWT code out of the DNA alphabet");
+      ++counts[c];
+    }
+    bwt.cum[0] = 1;
+    for (int c = 0; c < 4; ++c)
+      bwt.cum[static_cast<std::size_t>(c) + 1] =
+          bwt.cum[static_cast<std::size_t>(c)] + counts[static_cast<std::size_t>(c)];
+  }
 
   index.mutable_fm128().build(bwt);
   index.mutable_fm128().store_raw_bwt(bwt);
   index.mutable_fm32().build(bwt);
 
   // SAL structures.
-  SectionReader ssa_sec = read_section(in, "sampled_sa", bytes_left);
-  const auto interval = ssa_sec.get<std::int32_t>();
-  ssa_sec.require(interval >= 1 && (interval & (interval - 1)) == 0,
-                  "sampling interval is not a positive power of two");
-  auto samples = ssa_sec.get_vector<idx_t>();
-  ssa_sec.require(static_cast<idx_t>(samples.size()) ==
-                      (bwt.seq_len + interval) / interval,
-                  "sample count does not match the interval");
-  for (idx_t s : samples)
-    ssa_sec.require(s >= 0 && s <= bwt.seq_len, "SA sample out of range");
-  ssa_sec.expect_done();
-  index.mutable_sampled_sa().set_samples(std::move(samples), interval);
-
-  SectionReader fsa_sec = read_section(in, "flat_sa", bytes_left);
-  const auto has_flat = fsa_sec.get<std::uint8_t>();
-  fsa_sec.require(has_flat <= 1, "flat-SA presence flag is not 0/1");
-  if (has_flat) {
-    auto values = fsa_sec.get_vector<idx_t>();
-    fsa_sec.require(static_cast<idx_t>(values.size()) == bwt.seq_len + 1,
-                    "flat SA size != seq_len + 1");
-    for (idx_t v : values)
-      fsa_sec.require(v >= 0 && v <= bwt.seq_len, "flat SA value out of range");
-    index.mutable_flat_sa().build(std::move(values));
+  {
+    SectionSource sec(in, "sampled_sa", bytes_left);
+    const auto interval = sec.get<std::int32_t>();
+    sec.require(interval >= 1 && (interval & (interval - 1)) == 0,
+                "sampling interval is not a positive power of two");
+    auto samples = sec.get_vector<idx_t>();
+    sec.require(static_cast<idx_t>(samples.size()) ==
+                    (bwt.seq_len + interval) / interval,
+                "sample count does not match the interval");
+    for (idx_t s : samples)
+      sec.require(s >= 0 && s <= bwt.seq_len, "SA sample out of range");
+    sec.finish();
+    index.mutable_sampled_sa().set_samples(std::move(samples), interval);
   }
-  fsa_sec.expect_done();
+
+  {
+    SectionSource sec(in, "flat_sa", bytes_left);
+    const auto has_flat = sec.get<std::uint8_t>();
+    sec.require(has_flat <= 1, "flat-SA presence flag is not 0/1");
+    if (has_flat) {
+      const auto n = sec.get_count(sizeof(idx_t), "vector");
+      sec.require(static_cast<idx_t>(n) == bwt.seq_len + 1,
+                  "flat SA size != seq_len + 1");
+      // Narrow the on-disk i64 values to the u32 in-memory layout through a
+      // chunk buffer; the 32-bit fit is implied by the range check because
+      // seq_len passed check_text_length above.
+      util::BigVector<std::uint32_t> values(static_cast<std::size_t>(n));
+      util::prefault_pages(values.data(), values.size() * sizeof(std::uint32_t));
+      std::vector<idx_t> chunk(
+          std::min<std::size_t>(static_cast<std::size_t>(n), std::size_t{1} << 16));
+      for (std::size_t off = 0; off < static_cast<std::size_t>(n);) {
+        const std::size_t m =
+            std::min(chunk.size(), static_cast<std::size_t>(n) - off);
+        sec.read_raw(chunk.data(), m * sizeof(idx_t), "vector");
+        for (std::size_t i = 0; i < m; ++i) {
+          const idx_t v = chunk[i];
+          sec.require(v >= 0 && v <= bwt.seq_len, "flat SA value out of range");
+          values[off + i] = static_cast<std::uint32_t>(v);
+        }
+        off += m;
+      }
+      sec.finish();
+      index.mutable_flat_sa().build(std::move(values));
+    } else {
+      sec.finish();
+    }
+  }
 
   return index;
 }
@@ -446,24 +614,25 @@ void save_index(const std::string& path, const Mem2Index& index, int version) {
     const auto& fm = index.fm128();
     put<idx_t>(out, fm.seq_len());
     put<idx_t>(out, fm.primary());
-    std::vector<seq::Code> bwt(static_cast<std::size_t>(fm.seq_len()));
-    for (idx_t j = 0; j < fm.seq_len(); ++j) {
-      const idx_t row = j + (j >= fm.primary() ? 1 : 0);
-      bwt[static_cast<std::size_t>(j)] = static_cast<seq::Code>(fm.bwt_at(row));
-    }
-    put_vector(out, bwt);
+    put_vector(out, fm.raw_bwt());
     put<std::int32_t>(out, index.sampled_sa().interval());
     put_vector(out, index.sampled_sa().samples());
     put<std::uint8_t>(out, index.has_flat_sa() ? 1 : 0);
-    if (index.has_flat_sa()) put_vector(out, index.flat_sa().values());
+    if (index.has_flat_sa()) {
+      const auto& v = index.flat_sa().values_u32();
+      put<std::uint64_t>(out, v.size());
+      for_each_widened_chunk(v, [&](const void* p, std::size_t n) {
+        out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+      });
+    }
   } else {
     out.write(kMagicV2, 4);
-    write_section(out, "contigs", pack_contigs(index));
-    write_section(out, "pac", pack_pac(index));
-    write_section(out, "ambig", pack_ambig(index));
-    write_section(out, "bwt", pack_bwt(index));
-    write_section(out, "sampled_sa", pack_sampled_sa(index));
-    write_section(out, "flat_sa", pack_flat_sa(index));
+    write_contigs(out, index);
+    write_pac(out, index);
+    write_ambig(out, index);
+    write_bwt(out, index);
+    write_sampled_sa(out, index);
+    write_flat_sa(out, index);
   }
 
   if (!out) throw io_error("error writing index file: " + path);
@@ -487,7 +656,7 @@ Mem2Index load_index(const std::string& path) {
               << "' uses the deprecated v1 index format (no integrity "
                  "checksums); re-run `mem2_cli index` — v1 support will be "
                  "removed in the next release\n";
-    return load_index_v1(in);
+    return load_index_v1(in, file_size - 4);
   }
   if (magic[3] != kMagicV2[3])
     throw io_error("unsupported index format version in: " + path);

@@ -7,6 +7,7 @@
 // like for like.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,14 @@ struct IndexBuildOptions {
   /// Baseline SAL sampling interval (power of two).  BWA indexes with 32;
   /// the SAL bench sweeps this up to the paper's quoted 128.
   int sampled_interval = 32;
+  /// Threads for the parallel SA-IS passes (<= 0: OpenMP default).  The
+  /// suffix array — and therefore the whole index — is byte-identical for
+  /// every thread count.
+  int threads = 0;
+  /// Called after each build phase completes with the phase name and its
+  /// wall time; the CLI and the index-build bench hang progress/peak-RSS
+  /// reporting off this.  May be empty.
+  std::function<void(const char* phase, double seconds)> progress;
 };
 
 class Mem2Index {

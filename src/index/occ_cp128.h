@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "index/bwt.h"
+#include "util/big_alloc.h"
 #include "util/prefetch.h"
 
 namespace mem2::index {
@@ -45,8 +46,8 @@ class OccCp128 {
   idx_t size() const { return size_; }
   std::size_t memory_bytes() const { return buckets_.size() * sizeof(Bucket); }
 
-  const std::vector<Bucket>& buckets() const { return buckets_; }
-  void set_buckets(std::vector<Bucket> b, idx_t n) {
+  const util::BigVector<Bucket>& buckets() const { return buckets_; }
+  void set_buckets(util::BigVector<Bucket> b, idx_t n) {
     buckets_ = std::move(b);
     size_ = n;
   }
@@ -54,7 +55,7 @@ class OccCp128 {
   static constexpr const char* name() { return "cp128"; }
 
  private:
-  std::vector<Bucket> buckets_;
+  util::BigVector<Bucket> buckets_;
   idx_t size_ = 0;
 };
 

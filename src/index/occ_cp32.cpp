@@ -1,10 +1,22 @@
 #include "index/occ_cp32.h"
 
+#include <string>
+
 namespace mem2::index {
 
+void OccCp32::check_text_length(idx_t seq_len) {
+  constexpr idx_t kMax = (idx_t{1} << 32) - 1;
+  if (seq_len > kMax)
+    throw mem2::invariant_error(
+        "CP32 occ table stores uint32_t bucket counts: doubled sequence "
+        "length " +
+        std::to_string(seq_len) + " exceeds the 4294967295 (2^32-1) limit; "
+        "build with build_cp32=false and build_flat_sa=false for longer "
+        "references");
+}
+
 void OccCp32::build(const std::vector<seq::Code>& bwt) {
-  MEM2_REQUIRE(bwt.size() < (std::size_t{1} << 32),
-               "CP32 stores 32-bit counts; text too long");
+  check_text_length(static_cast<idx_t>(bwt.size()));
   size_ = static_cast<idx_t>(bwt.size());
   const std::size_t n_buckets = bwt.size() / kBucket + 1;
   buckets_.assign(n_buckets, Bucket{});

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "index/bwt.h"
+#include "util/big_alloc.h"
 #include "util/cpu_features.h"
 #include "util/prefetch.h"
 
@@ -38,6 +39,13 @@ class OccCp32 {
   OccCp32() = default;
   explicit OccCp32(const std::vector<seq::Code>& bwt) { build(bwt); }
   void build(const std::vector<seq::Code>& bwt);
+
+  /// The bucket counters are uint32_t, so a base occurring 2^32+ times in
+  /// the doubled sequence would silently wrap.  Throws invariant_error for
+  /// any sequence length that could reach the limit; called by build, by
+  /// Mem2Index::build before the (expensive) suffix array, and by the v2
+  /// loader before trusting an on-disk header.
+  static void check_text_length(idx_t seq_len);
 
   /// Count of base c among the first j BWT positions.
   idx_t occ(int c, idx_t j) const {
@@ -76,15 +84,17 @@ class OccCp32 {
   static int occ_in_bucket_avx2(const Bucket* bkt, int c, int y);
   static void occ4_in_bucket_avx2(const Bucket* bkt, int y, idx_t out[4]);
 
-  const std::vector<Bucket>& buckets() const { return buckets_; }
-  void set_buckets(std::vector<Bucket> b, idx_t n) {
+  const util::BigVector<Bucket>& buckets() const { return buckets_; }
+  void set_buckets(util::BigVector<Bucket> b, idx_t n) {
     buckets_ = std::move(b);
     size_ = n;
     select_kernels(util::dispatch_isa());
   }
 
  private:
-  std::vector<Bucket> buckets_;
+  // Huge-page/NUMA-advised storage: this table is the hottest random-access
+  // structure in the aligner (every backward extension loads a bucket).
+  util::BigVector<Bucket> buckets_;
   idx_t size_ = 0;
   OccInBucketFn occ_in_bucket_ = &occ_in_bucket_scalar;
   Occ4InBucketFn occ4_in_bucket_ = &occ4_in_bucket_scalar;

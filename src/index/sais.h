@@ -5,6 +5,18 @@
 // paper §4.5), so we build SA once with SA-IS — linear time, linear extra
 // space — and derive BWT, sampled SA and flat SA from it.
 //
+// This implementation is built for chromosome-scale references:
+//   - Level 0 walks the 2-bit code text directly (a virtual +1 shift maps
+//     the appended sentinel to 0) instead of copying it into an int64_t
+//     array, and recursion levels use 32-bit indices whenever the reduced
+//     string fits, so peak temporary space is ~5 bytes/char with the
+//     narrow entry point (vs ~25 for the old copy-everything core).
+//   - The O(n) scan passes (type classification, bucket counting, LMS
+//     collection/placement, substring naming, reduced-string gather) are
+//     OpenMP-parallel with exact precomputed write slots, so the output is
+//     byte-identical to the serial path for any thread count.  The two
+//     induced-sorting sweeps are inherently sequential and stay serial.
+//
 // Convention: the input is a code sequence over {0..3} (ACGT); a virtual
 // sentinel smaller than every code terminates the string.  The returned
 // suffix array has length n+1 with sa[0] == n (the sentinel suffix), matching
@@ -15,17 +27,37 @@
 #include <vector>
 
 #include "seq/dna.h"
+#include "util/big_alloc.h"
 #include "util/common.h"
 
 namespace mem2::index {
 
 /// Build the suffix array of `text` (codes 0..3) + virtual sentinel.
 /// Result size is text.size() + 1, result[0] == text.size().
-std::vector<idx_t> build_suffix_array(const std::vector<seq::Code>& text);
+/// `threads` <= 0 means use the OpenMP default; the result is identical
+/// for every thread count.
+std::vector<idx_t> build_suffix_array(const std::vector<seq::Code>& text,
+                                      int threads = 0);
+
+/// Same suffix array in 32-bit storage (valid because the index already
+/// caps references below 2^32 doubled chars — see OccCp32); this is the
+/// memory-lean entry the index build uses: the SA-IS core runs directly in
+/// the returned buffer, peak ~5 bytes/char of temporaries, and the buffer
+/// can be moved into the flat SA without a widening copy.
+/// Requires text.size() + 1 to fit in int32_t.
+util::BigVector<std::uint32_t> build_suffix_array_u32(
+    const std::vector<seq::Code>& text, int threads = 0);
 
 /// Reference implementation used by property tests: O(n^2 log n) comparison
 /// sort of suffixes with sentinel semantics.  Exposed so tests and the
 /// documentation example can cross-check SA-IS.
 std::vector<idx_t> build_suffix_array_naive(const std::vector<seq::Code>& text);
+
+/// Test hook: force the 64-bit core for working lengths above `limit`, so
+/// small inputs exercise the 64-bit top level and its narrowing into the
+/// 32-bit recursion (in production only >2 GB texts would).  `limit` == 0
+/// restores the default (everything that fits int32_t runs narrow).  Not
+/// thread-safe; tests only.
+void set_sais_narrow_limit_for_test(std::size_t limit);
 
 }  // namespace mem2::index

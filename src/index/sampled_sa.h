@@ -20,9 +20,11 @@ class SampledSAT {
  public:
   SampledSAT() = default;
 
-  /// @param sa full suffix array (length N+1, sa[0] == N)
+  /// @param sa full suffix array (length N+1, sa[0] == N); any random-access
+  ///        container of integer values (idx_t or the build's uint32 SA)
   /// @param interval sampling interval d (power of two)
-  void build(const std::vector<idx_t>& sa, int interval) {
+  template <class SaVec>
+  void build(const SaVec& sa, int interval) {
     MEM2_REQUIRE(interval > 0 && (interval & (interval - 1)) == 0,
                  "SA sampling interval must be a power of two");
     interval_ = interval;

@@ -1,0 +1,135 @@
+#include "util/big_alloc.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace mem2::util {
+namespace {
+
+// mbind(2) without libnuma.  MPOL_INTERLEAVE spreads the pages of the
+// occ tables / flat SA round-robin across the nodes in the mask so random
+// FM-walks load both memory controllers instead of hammering the one the
+// build thread happened to run on.
+constexpr int kMpolInterleave = 3;
+
+bool numa_interleave_requested() {
+  static const bool on = [] {
+    const char* env = std::getenv("MEM2_NUMA_INTERLEAVE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return on;
+}
+
+// Mask of online NUMA nodes, from sysfs; single-node (or unreadable sysfs)
+// yields a mask where interleave is a no-op, so we skip the syscall.
+unsigned long numa_node_mask() {
+  static const unsigned long mask = [] {
+    unsigned long m = 0;
+    for (int node = 0; node < 64; ++node) {
+      char path[64];
+      std::snprintf(path, sizeof(path),
+                    "/sys/devices/system/node/node%d", node);
+      if (access(path, F_OK) != 0) break;
+      m |= 1ul << node;
+    }
+    return m != 0 ? m : 1ul;
+  }();
+  return mask;
+}
+
+void advise_big_mapping(void* p, std::size_t bytes) {
+#ifdef MADV_HUGEPAGE
+  (void)madvise(p, bytes, MADV_HUGEPAGE);  // advisory; ENOSYS/EINVAL are fine
+#endif
+  if (numa_interleave_requested()) {
+    const unsigned long mask = numa_node_mask();
+    if ((mask & (mask - 1)) != 0) {  // more than one node
+      (void)syscall(SYS_mbind, p, bytes, kMpolInterleave, &mask,
+                    sizeof(mask) * 8 + 1, 0);
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void* big_alloc(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (bytes >= kMmapThreshold) {
+    // mmap is page-aligned, which satisfies any alignof(T) we hold.
+    void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) throw std::bad_alloc();
+    advise_big_mapping(p, bytes);
+    return p;
+  }
+  if (align > alignof(std::max_align_t)) {
+    return ::operator new(bytes, std::align_val_t(align));
+  }
+  return ::operator new(bytes);
+}
+
+void big_free(void* p, std::size_t bytes, std::size_t align) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  // The size threshold decides the path deterministically, so free always
+  // mirrors the allocation (mmap failure above throws instead of falling
+  // back, precisely to keep this pairing unambiguous).
+  if (bytes >= kMmapThreshold) {
+    (void)munmap(p, bytes);
+    return;
+  }
+  if (align > alignof(std::max_align_t)) {
+    ::operator delete(p, std::align_val_t(align));
+    return;
+  }
+  ::operator delete(p);
+}
+
+}  // namespace detail
+
+void prefault_pages(void* p, std::size_t bytes) {
+  if (p == nullptr || bytes == 0) return;
+#ifdef MADV_POPULATE_WRITE
+  if (madvise(p, bytes, MADV_POPULATE_WRITE) == 0) return;
+#endif
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t step = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  volatile char* c = static_cast<volatile char*>(p);
+  for (std::size_t off = 0; off < bytes; off += step) c[off] = 0;
+  c[bytes - 1] = 0;
+}
+
+namespace {
+
+std::size_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      kb = std::strtoull(line + key_len, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM:") * 1024; }
+
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS:") * 1024; }
+
+}  // namespace mem2::util

@@ -1,0 +1,77 @@
+// Large-allocation backing for the index's resident structures.
+//
+// The occ tables and the flat SA are the DRAM-resident working set of the
+// whole aligner (paper §4.4-4.5: at human-genome scale they are GBs and
+// every SMEM/SAL step is a dependent random load into them).  Backing them
+// with transparent huge pages cuts dTLB misses on those random walks, and
+// interleaving them across NUMA nodes keeps one socket's controller from
+// becoming the bottleneck when the worker pool spans sockets.
+//
+// BigAllocator<T> is a std::allocator drop-in: allocations at or above
+// kMmapThreshold come from anonymous mmap, get MADV_HUGEPAGE, and are
+// optionally interleaved across NUMA nodes (opt-in via
+// MEM2_NUMA_INTERLEAVE=1, direct mbind syscall — no libnuma dependency).
+// Every advice step degrades silently: on kernels without THP/NUMA the
+// allocator is just mmap, and small allocations fall through to operator
+// new.  Alignment honors alignof(T) (the CP32 bucket is alignas(64)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mem2::util {
+
+namespace detail {
+
+/// Allocations >= this many bytes are mmap-backed (and THP-eligible).
+inline constexpr std::size_t kMmapThreshold = std::size_t{4} << 20;
+
+void* big_alloc(std::size_t bytes, std::size_t align);
+void big_free(void* p, std::size_t bytes, std::size_t align) noexcept;
+
+}  // namespace detail
+
+template <class T>
+class BigAllocator {
+ public:
+  using value_type = T;
+
+  BigAllocator() = default;
+  template <class U>
+  BigAllocator(const BigAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(detail::big_alloc(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    detail::big_free(p, n * sizeof(T), alignof(T));
+  }
+
+  template <class U>
+  bool operator==(const BigAllocator<U>&) const {
+    return true;
+  }
+};
+
+/// A std::vector whose storage is huge-page/NUMA-advised once it crosses
+/// the mmap threshold.  Index components size these exactly once, so the
+/// doubling-growth pattern never churns mmaps.
+template <class T>
+using BigVector = std::vector<T, BigAllocator<T>>;
+
+/// Fault in [p, p+bytes) ahead of a streaming read into it, so the read
+/// loop does not interleave page faults with I/O (MADV_POPULATE_WRITE when
+/// the kernel has it, else a manual touch pass).  Only valid on freshly
+/// allocated, not-yet-meaningful memory: the fallback writes zeros.
+void prefault_pages(void* p, std::size_t bytes);
+
+/// Peak resident set size of this process (VmHWM), in bytes; 0 if
+/// /proc/self/status is unreadable.  The index-build bench derives its
+/// bytes-per-char gate from deltas of this.
+std::size_t peak_rss_bytes();
+
+/// Current resident set size (VmRSS), in bytes; 0 if unavailable.
+std::size_t current_rss_bytes();
+
+}  // namespace mem2::util

@@ -97,4 +97,103 @@ inline std::uint64_t xxhash64(const void* data, std::size_t len,
   return h;
 }
 
+// Incremental xxHash64 over a sequence of update() calls; digest() equals
+// xxhash64() of the concatenated bytes for every length and chunking.
+// Lets index save/load hash sections as they stream through a fixed-size
+// chunk buffer instead of materializing each section twice.
+class Xxh64Stream {
+ public:
+  explicit Xxh64Stream(std::uint64_t seed = 0) { reset(seed); }
+
+  void reset(std::uint64_t seed = 0) {
+    seed_ = seed;
+    v1_ = seed + detail::kXxPrime1 + detail::kXxPrime2;
+    v2_ = seed + detail::kXxPrime2;
+    v3_ = seed;
+    v4_ = seed - detail::kXxPrime1;
+    total_ = 0;
+    buf_len_ = 0;
+  }
+
+  void update(const void* data, std::size_t len) {
+    using namespace detail;
+    const auto* p = static_cast<const unsigned char*>(data);
+    total_ += len;
+    if (buf_len_ + len < sizeof(buf_)) {  // stays short of a full stripe
+      std::memcpy(buf_ + buf_len_, p, len);
+      buf_len_ += len;
+      return;
+    }
+    if (buf_len_ > 0) {
+      const std::size_t fill = sizeof(buf_) - buf_len_;
+      std::memcpy(buf_ + buf_len_, p, fill);
+      consume_stripe(buf_);
+      p += fill;
+      len -= fill;
+      buf_len_ = 0;
+    }
+    while (len >= sizeof(buf_)) {
+      consume_stripe(p);
+      p += sizeof(buf_);
+      len -= sizeof(buf_);
+    }
+    std::memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+
+  std::uint64_t digest() const {
+    using namespace detail;
+    std::uint64_t h;
+    if (total_ >= sizeof(buf_)) {
+      h = xx_rotl(v1_, 1) + xx_rotl(v2_, 7) + xx_rotl(v3_, 12) +
+          xx_rotl(v4_, 18);
+      h = xx_merge_round(h, v1_);
+      h = xx_merge_round(h, v2_);
+      h = xx_merge_round(h, v3_);
+      h = xx_merge_round(h, v4_);
+    } else {
+      h = seed_ + kXxPrime5;
+    }
+    h += total_;
+    const unsigned char* p = buf_;
+    const unsigned char* const end = buf_ + buf_len_;
+    while (p + 8 <= end) {
+      h = xx_rotl(h ^ xx_round(0, xx_read64(p)), 27) * kXxPrime1 + kXxPrime4;
+      p += 8;
+    }
+    if (p + 4 <= end) {
+      h = xx_rotl(h ^ (static_cast<std::uint64_t>(xx_read32(p)) * kXxPrime1),
+                  23) *
+              kXxPrime2 +
+          kXxPrime3;
+      p += 4;
+    }
+    while (p < end) {
+      h = xx_rotl(h ^ (*p * kXxPrime5), 11) * kXxPrime1;
+      ++p;
+    }
+    h ^= h >> 33;
+    h *= kXxPrime2;
+    h ^= h >> 29;
+    h *= kXxPrime3;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  void consume_stripe(const unsigned char* p) {
+    using namespace detail;
+    v1_ = xx_round(v1_, xx_read64(p));
+    v2_ = xx_round(v2_, xx_read64(p + 8));
+    v3_ = xx_round(v3_, xx_read64(p + 16));
+    v4_ = xx_round(v4_, xx_read64(p + 24));
+  }
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t v1_ = 0, v2_ = 0, v3_ = 0, v4_ = 0;
+  std::uint64_t total_ = 0;
+  unsigned char buf_[32];
+  std::size_t buf_len_ = 0;
+};
+
 }  // namespace mem2::util

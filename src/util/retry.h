@@ -41,7 +41,10 @@ template <class Op, class IsTransient>
 int with_retry(const RetryPolicy& policy, Op&& op, IsTransient&& is_transient) {
   Sleeper& sleeper = policy.sleeper ? *policy.sleeper : Sleeper::real();
   const int max_attempts = std::max(1, policy.max_attempts);
-  std::chrono::nanoseconds backoff = policy.initial_backoff;
+  // Clamp up front: max_backoff caps every sleep, including the first one
+  // when initial_backoff is configured above it.
+  std::chrono::nanoseconds backoff =
+      std::min<std::chrono::nanoseconds>(policy.initial_backoff, policy.max_backoff);
   for (int attempt = 1;; ++attempt) {
     try {
       op(attempt);

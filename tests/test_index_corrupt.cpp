@@ -178,6 +178,57 @@ TEST(IndexCorruption, V1FormatStillLoadsWithWarning) {
     ASSERT_EQ(loaded.sa_lookup_flat(r), fx().index.sa_lookup_flat(r));
 }
 
+TEST(IndexCorruption, V2AbsurdLengthFieldRejectedBeforeAllocation) {
+  // A corrupt element count must die on the remaining-bytes clamp (named
+  // corruption_error), never reach the allocator.  The count here claims
+  // 2^60 contigs in a payload of a few hundred bytes.
+  const auto sections = parse_sections(fx().bytes);
+  ASSERT_EQ(sections[0].name, "contigs");
+  std::string mutated = fx().bytes;
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(mutated.data() + sections[0].payload_beg, &huge, 8);
+  expect_corrupt(mutated, "contigs", "absurd contig count");
+}
+
+TEST(IndexCorruption, V1AbsurdLengthFieldsFailFastAsIoErrors) {
+  // Regression: the v1 loader used to size vectors/strings straight from
+  // the on-disk length field, so a flipped count meant an absurd
+  // allocation attempt before any bounds check.  Lengths are now clamped
+  // against the bytes actually remaining in the file.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mem2_v1_absurd.m2i").string();
+  save_index(path, fx().index, /*version=*/1);
+  const std::string bytes = read_file(path);
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+
+  // Contig-table count (u64 right after the 4-byte magic).
+  std::string mutated = bytes;
+  std::memcpy(mutated.data() + 4, &huge, 8);
+  write_file(path, mutated);
+  EXPECT_THROW(load_index(path), io_error);
+
+  // First contig-name length (u64 right after the count).
+  mutated = bytes;
+  std::memcpy(mutated.data() + 12, &huge, 8);
+  write_file(path, mutated);
+  EXPECT_THROW(load_index(path), io_error);
+
+  std::remove(path.c_str());
+}
+
+TEST(IndexCorruption, Cp32RejectsTextsBeyondUint32) {
+  // The CP32 occ buckets count in uint32_t; a doubled text at 2^32 chars
+  // would silently wrap them.  The boundary itself is fine.
+  EXPECT_NO_THROW(OccCp32::check_text_length((idx_t{1} << 32) - 1));
+  try {
+    OccCp32::check_text_length(idx_t{1} << 32);
+    FAIL() << "oversized text accepted";
+  } catch (const invariant_error& e) {
+    EXPECT_NE(std::string(e.what()).find("4294967295"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(IndexCorruption, NonIndexFilesAndUnknownVersionsAreIoErrors) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "mem2_notindex.m2i").string();

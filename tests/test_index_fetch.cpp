@@ -2,6 +2,10 @@
 // coordinate space, and pipeline behaviour on reads containing N bases.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
 #include "align/driver.h"
 #include "seq/genome_sim.h"
 #include "seq/read_sim.h"
@@ -83,6 +87,52 @@ TEST(AmbiguousReads, AllNReadIsUnmapped) {
   const auto sam = align::align_reads(idx, {r}, opt);
   ASSERT_EQ(sam.size(), 1u);
   EXPECT_TRUE(sam[0].flag & io::kFlagUnmapped);
+}
+
+TEST(LargeIndex, SixtyFourMbpBuildSaveLoadAlignRoundTrip) {
+  // Chromosome-scale smoke: a 64 Mbp multi-contig reference through the
+  // parallel SA-IS build, the streaming v2 writer/reader, and an alignment
+  // pass on the reloaded index.  Skippable where minutes matter (the
+  // sanitizer CI job sets MEM2_SKIP_LARGE_TESTS).
+  if (std::getenv("MEM2_SKIP_LARGE_TESTS"))
+    GTEST_SKIP() << "MEM2_SKIP_LARGE_TESTS set";
+
+  seq::GenomeConfig cfg;
+  cfg.seed = 64646464;
+  cfg.contig_lengths = {30'000'000, 20'000'000, 14'000'000};
+  IndexBuildOptions opt;
+  opt.threads = 2;
+  const auto idx = Mem2Index::build(seq::simulate_genome(cfg), opt);
+  ASSERT_EQ(idx.l_pac(), 64'000'000);
+  ASSERT_TRUE(idx.has_flat_sa());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mem2_large_roundtrip.m2i")
+          .string();
+  save_index(path, idx);
+  const auto loaded = load_index(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.seq_len(), idx.seq_len());
+  EXPECT_EQ(loaded.fm128().primary(), idx.fm128().primary());
+  // Spot-check both SAL structures across the whole row space.
+  for (idx_t r = 0; r <= idx.seq_len(); r += idx.seq_len() / 997)
+    ASSERT_EQ(loaded.sa_lookup_flat(r), idx.sa_lookup_flat(r)) << "row " << r;
+  for (idx_t r = 1; r <= idx.seq_len(); r += idx.seq_len() / 97)
+    ASSERT_EQ(loaded.sa_lookup_baseline(r), idx.sa_lookup_flat(r));
+
+  // Alignment over the reloaded index: simulated reads must map back.
+  seq::ReadSimConfig rc;
+  rc.num_reads = 200;
+  rc.read_length = 101;
+  rc.seed = 11;
+  const auto reads = seq::simulate_reads(loaded.ref(), rc);
+  align::DriverOptions dopt;
+  const auto sam = align::align_reads(loaded, reads, dopt);
+  int mapped = 0;
+  for (const auto& rec : sam)
+    if (!(rec.flag & io::kFlagUnmapped)) ++mapped;
+  EXPECT_GT(mapped, 180);
 }
 
 }  // namespace

@@ -170,6 +170,25 @@ TEST(Retry, BackoffIsCappedAtMax) {
   EXPECT_EQ(slept[2], milliseconds(100));
 }
 
+TEST(Retry, FirstSleepIsClampedWhenInitialExceedsMax) {
+  // Regression: the first sleep used initial_backoff unclamped, so a
+  // policy with initial_backoff > max_backoff overslept its own cap once.
+  util::FakeSleeper sleeper;
+  util::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = milliseconds(500);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = milliseconds(100);
+  policy.sleeper = &sleeper;
+  Transient op{10};
+  EXPECT_THROW(util::with_retry(policy, op, is_io), io_error);
+  const auto slept = sleeper.slept();
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_EQ(slept[0], milliseconds(100));  // clamped before the first sleep
+  EXPECT_EQ(slept[1], milliseconds(100));
+  EXPECT_EQ(slept[2], milliseconds(100));
+}
+
 TEST(Retry, NonTransientErrorRethrowsImmediately) {
   util::FakeSleeper sleeper;
   util::RetryPolicy policy;

@@ -49,7 +49,9 @@ TEST(FlatSa, LookupIsIdentity) {
   flat.build(fx.sa);
   for (std::size_t r = 0; r < fx.sa.size(); ++r)
     ASSERT_EQ(flat.lookup(static_cast<idx_t>(r)), fx.sa[r]);
-  EXPECT_EQ(flat.memory_bytes(), fx.sa.size() * sizeof(idx_t));
+  // Flat-SA entries are stored narrowed to 32 bits (half the paper's
+  // baseline footprint); lookups widen back to idx_t.
+  EXPECT_EQ(flat.memory_bytes(), fx.sa.size() * sizeof(std::uint32_t));
 }
 
 TEST(SampledSa, RejectsNonPowerOfTwoInterval) {

@@ -44,6 +44,14 @@ TEST(Sais, MatchesNaiveOnHandCases) {
   }
 }
 
+/// Pins the forced-wide test hook and always restores the default.
+struct NarrowLimitGuard {
+  explicit NarrowLimitGuard(std::size_t limit) {
+    set_sais_narrow_limit_for_test(limit);
+  }
+  ~NarrowLimitGuard() { set_sais_narrow_limit_for_test(0); }
+};
+
 class SaisRandomTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SaisRandomTest, MatchesNaiveOnRandomText) {
@@ -51,7 +59,9 @@ TEST_P(SaisRandomTest, MatchesNaiveOnRandomText) {
   const std::size_t n = 1 + rng.below(400);
   std::vector<seq::Code> text(n);
   for (auto& c : text) c = static_cast<seq::Code>(rng.below(4));
-  EXPECT_EQ(build_suffix_array(text), build_suffix_array_naive(text));
+  const auto naive = build_suffix_array_naive(text);
+  EXPECT_EQ(build_suffix_array(text), naive);
+  EXPECT_EQ(build_suffix_array(text, 4), naive);
 }
 
 TEST_P(SaisRandomTest, MatchesNaiveOnRepetitiveText) {
@@ -101,6 +111,68 @@ TEST(Sais, LargeTextInvariants) {
   };
   for (std::size_t r = 1; r < sa.size(); ++r)
     ASSERT_TRUE(leq(sa[r - 1], sa[r])) << "rows " << r - 1 << "," << r;
+}
+
+TEST(Sais, ThreadCountDoesNotChangeTheResult) {
+  // 200 kbp crosses the parallel-pass cutoff, so classification, LMS
+  // collection/placement, and naming really run blocked+parallel; the
+  // contract is a byte-identical SA for every thread count.
+  const auto ref = seq::random_genome(200000, 23);
+  std::vector<seq::Code> text(static_cast<std::size_t>(ref.length()));
+  ref.pac().extract(0, text.size(), text.data());
+
+  const auto sa1 = build_suffix_array(text, 1);
+  EXPECT_EQ(build_suffix_array(text, 2), sa1);
+  EXPECT_EQ(build_suffix_array(text, 4), sa1);
+
+  const auto u32 = build_suffix_array_u32(text, 4);
+  ASSERT_EQ(u32.size(), sa1.size());
+  for (std::size_t i = 0; i < sa1.size(); ++i)
+    ASSERT_EQ(static_cast<idx_t>(u32[i]), sa1[i]) << "row " << i;
+}
+
+TEST(Sais, U32EntryMatchesWideEntry) {
+  util::Xoshiro256ss rng(977);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.below(2000);
+    std::vector<seq::Code> text(n);
+    for (auto& c : text) c = static_cast<seq::Code>(rng.below(4));
+    const auto wide = build_suffix_array(text);
+    const auto u32 = build_suffix_array_u32(text);
+    ASSERT_EQ(u32.size(), wide.size());
+    for (std::size_t i = 0; i < wide.size(); ++i)
+      ASSERT_EQ(static_cast<idx_t>(u32[i]), wide[i]);
+  }
+}
+
+TEST(Sais, ForcedWidePathMatchesNaiveAcrossTheBoundary) {
+  // Shrink the 32-bit eligibility limit so texts on either side of it take
+  // different cores: sizes crossing the boundary exercise the 64-bit top
+  // level AND its narrowing into the int32 recursion (the reduced string
+  // always fits).  This is the >2^31-char code path at testable scale.
+  NarrowLimitGuard guard(64);
+  util::Xoshiro256ss rng(31337);
+  for (std::size_t n = 56; n <= 72; ++n) {
+    std::vector<seq::Code> text(n);
+    for (auto& c : text) c = static_cast<seq::Code>(rng.below(4));
+    const auto naive = build_suffix_array_naive(text);
+    EXPECT_EQ(build_suffix_array(text), naive) << "n=" << n;
+    EXPECT_EQ(build_suffix_array(text, 4), naive) << "n=" << n;
+    const auto u32 = build_suffix_array_u32(text);
+    ASSERT_EQ(u32.size(), naive.size());
+    for (std::size_t i = 0; i < naive.size(); ++i)
+      ASSERT_EQ(static_cast<idx_t>(u32[i]), naive[i]) << "n=" << n;
+  }
+}
+
+TEST(Sais, ForcedWideParallelMatchesDefaultNarrow) {
+  const auto ref = seq::random_genome(150000, 29);
+  std::vector<seq::Code> text(static_cast<std::size_t>(ref.length()));
+  ref.pac().extract(0, text.size(), text.data());
+  const auto narrow = build_suffix_array(text, 1);  // default: int32 core
+  NarrowLimitGuard guard(1000);                     // now: int64 top level
+  EXPECT_EQ(build_suffix_array(text, 1), narrow);
+  EXPECT_EQ(build_suffix_array(text, 4), narrow);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "util/arena.h"
+#include "util/big_alloc.h"
+#include "util/checksum.h"
 #include "util/cpu_features.h"
 #include "util/radix_sort.h"
 #include "util/rng.h"
@@ -223,6 +225,79 @@ TEST(CounterCapture, DestructorWithoutTakeRestoresBaseline) {
   }
   EXPECT_EQ(tls_counters().occ_bucket_loads, 2u);
   tls_counters().reset();
+}
+
+// ---------------------------------------------------------------------------
+// util::Xxh64Stream — the streaming index writer/reader hash must agree
+// with the one-shot implementation for every length class (empty, sub-tail,
+// sub-stripe, stripe-exact, long) and every chunking of the same input.
+
+TEST(Xxh64Stream, MatchesOneShotAcrossLengths) {
+  Xoshiro256ss rng(4242);
+  std::vector<unsigned char> data(1024);
+  for (auto& b : data) b = static_cast<unsigned char>(rng.below(256));
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{7}, std::size_t{8}, std::size_t{31},
+                          std::size_t{32}, std::size_t{33}, std::size_t{64},
+                          std::size_t{100}, std::size_t{1024}}) {
+    Xxh64Stream h;
+    h.update(data.data(), len);
+    EXPECT_EQ(h.digest(), xxhash64(data.data(), len)) << "len=" << len;
+  }
+}
+
+TEST(Xxh64Stream, ChunkingDoesNotChangeTheDigest) {
+  Xoshiro256ss rng(515151);
+  std::vector<unsigned char> data(4096);
+  for (auto& b : data) b = static_cast<unsigned char>(rng.below(256));
+  const std::uint64_t expect = xxhash64(data.data(), data.size());
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{5}, std::size_t{31},
+                            std::size_t{32}, std::size_t{33}, std::size_t{1000}}) {
+    Xxh64Stream h;
+    for (std::size_t off = 0; off < data.size(); off += chunk)
+      h.update(data.data() + off, std::min(chunk, data.size() - off));
+    EXPECT_EQ(h.digest(), expect) << "chunk=" << chunk;
+  }
+  // Digest is observable mid-stream without perturbing later updates.
+  Xxh64Stream h;
+  h.update(data.data(), 40);
+  EXPECT_EQ(h.digest(), xxhash64(data.data(), 40));
+  h.update(data.data() + 40, data.size() - 40);
+  EXPECT_EQ(h.digest(), expect);
+}
+
+// ---------------------------------------------------------------------------
+// util::BigAllocator — the mmap-backed allocator behind the occ tables and
+// the flat SA.
+
+TEST(BigAllocator, VectorRoundTripAcrossTheMmapThreshold) {
+  // Small (operator new path) and large (mmap path) allocations must both
+  // store/load correctly and survive growth across the threshold.
+  BigVector<std::uint32_t> v;
+  for (std::uint32_t i = 0; i < 100; ++i) v.push_back(i * 7);
+  v.resize((std::size_t{8} << 20) / sizeof(std::uint32_t));  // 8 MiB: mmap'd
+  for (std::size_t i = 0; i < 100; ++i)
+    ASSERT_EQ(v[i], static_cast<std::uint32_t>(i * 7));
+  v[v.size() - 1] = 0xdeadbeef;
+  EXPECT_EQ(v[v.size() - 1], 0xdeadbeefu);
+}
+
+TEST(BigAllocator, LargeAllocationsAreSuitablyAligned) {
+  BigVector<std::uint64_t> v((std::size_t{8} << 20) / sizeof(std::uint64_t));
+  // mmap returns page-aligned memory; anything the occ tables need (64-byte
+  // cache lines) follows.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 4096, 0u);
+}
+
+TEST(BigAllocator, RssProbesReportSomethingPlausible) {
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);  // HWM >= a floor
+  // prefault_pages on a fresh mapping must not crash and leaves the pages
+  // readable.
+  BigVector<unsigned char> v(std::size_t{4} << 20);
+  prefault_pages(v.data(), v.size());
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[v.size() - 1], 0);
 }
 
 }  // namespace
